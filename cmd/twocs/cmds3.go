@@ -1,0 +1,241 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"twocs/internal/core"
+	"twocs/internal/hw"
+	"twocs/internal/memsim"
+	"twocs/internal/model"
+	"twocs/internal/opmodel"
+	"twocs/internal/report"
+)
+
+// cmdDiagnose audits the operator-level model against ground truth for
+// one target configuration, operator by operator.
+func cmdDiagnose(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("diagnose", flag.ContinueOnError)
+	h := fs.Int("h", 4096, "hidden dimension of the target model")
+	sl := fs.Int("sl", 2048, "sequence length")
+	tp := fs.Int("tp", 16, "tensor-parallel degree")
+	asJSON := fs.Bool("json", false, "emit JSON")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	a, err := newAnalyzer()
+	if err != nil {
+		return err
+	}
+	cfg, err := core.FutureConfig(*h, *sl, 1)
+	if err != nil {
+		return err
+	}
+	truth, err := a.GroundTruthTimer(cfg, *tp, hw.Identity())
+	if err != nil {
+		return err
+	}
+	d, err := a.OpModel.Diagnose(truth, cfg, *tp)
+	if err != nil {
+		return err
+	}
+	if *asJSON {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(d)
+	}
+	t := report.NewTable(
+		fmt.Sprintf("Operator-model diagnosis: H=%d SL=%d TP=%d (layer error %.1f%%, worst: %s)",
+			*h, *sl, *tp, d.LayerErr*100, d.WorstOp),
+		"operator", "kind", "measured", "projected", "err %", "share %")
+	for _, o := range d.Ops {
+		t.AddRow(o.Name, o.Kind.String(), o.Measured.String(), o.Projected.String(),
+			fmt.Sprintf("%.1f", o.RelErr*100), fmt.Sprintf("%.1f", o.Share*100))
+	}
+	return t.Render(w)
+}
+
+// cmdMemSim simulates one iteration's per-device memory timeline.
+func cmdMemSim(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("memsim", flag.ContinueOnError)
+	h := fs.Int("h", 8192, "hidden dimension")
+	sl := fs.Int("sl", 2048, "sequence length")
+	layers := fs.Int("layers", 8, "layer count")
+	tp := fs.Int("tp", 16, "tensor-parallel degree")
+	checkpoint := fs.Bool("checkpoint", true, "activation checkpointing")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg, err := core.FutureConfig(*h, *sl, 1)
+	if err != nil {
+		return err
+	}
+	cfg.Layers = *layers
+	mm := model.MemoryModel{StateBytesPerParam: 16, ActivationCheckpointing: *checkpoint}
+	r, err := memsim.Simulate(cfg, *tp, mm)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "Memory timeline: H=%d SL=%d L=%d TP=%d checkpointing=%v\n",
+		*h, *sl, *layers, *tp, *checkpoint)
+	fmt.Fprintf(w, "  state floor: %v   peak: %v (at %s)\n", r.StateBytes, r.PeakBytes, r.PeakOp)
+	series := make([]float64, 0, len(r.Timeline))
+	stride := len(r.Timeline)/100 + 1
+	for i := 0; i < len(r.Timeline); i += stride {
+		series = append(series, float64(r.Timeline[i].Bytes))
+	}
+	fmt.Fprintf(w, "  timeline: %s\n", report.Sparkline(series))
+	capacity := hw.MI210.MemCapacity
+	fmt.Fprintf(w, "  MI210 capacity: %v -> fits: %v\n", capacity, r.PeakBytes <= capacity)
+	if tpNeed, err := memsim.RequiredTP(cfg, mm, capacity, 1, 4096); err == nil {
+		fmt.Fprintf(w, "  simulated required TP on 64GiB devices: %d\n", tpNeed)
+	}
+	return nil
+}
+
+// cmdCalibrate profiles the baseline and writes the calibrated
+// operator-level model to a JSON file: profile once, project anywhere.
+func cmdCalibrate(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("calibrate", flag.ContinueOnError)
+	out := fs.String("o", "calibration.json", "output path for the calibration")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	a, err := newAnalyzer()
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := a.OpModel.Save(f); err != nil {
+		return err
+	}
+	base, tp := a.OpModel.Base()
+	fmt.Fprintf(w, "calibrated %s at TP=%d -> %s (profiling cost %v)\n",
+		base.Name, tp, *out, a.StrategyLedger.Total())
+	return nil
+}
+
+// cmdProject loads a saved calibration (or calibrates in-process) and
+// projects one configuration across hardware scenarios.
+func cmdProject(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("project", flag.ContinueOnError)
+	calPath := fs.String("calibration", "", "path to a saved calibration (empty: calibrate now)")
+	h := fs.Int("h", 16384, "hidden dimension")
+	sl := fs.Int("sl", 2048, "sequence length")
+	layers := fs.Int("layers", 118, "layer count")
+	tp := fs.Int("tp", 64, "tensor-parallel degree")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var m *opmodel.Model
+	if *calPath != "" {
+		f, err := os.Open(*calPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		m, err = opmodel.Load(f)
+		if err != nil {
+			return err
+		}
+	} else {
+		a, err := newAnalyzer()
+		if err != nil {
+			return err
+		}
+		m = a.OpModel
+	}
+	cfg, err := core.FutureConfig(*h, *sl, 1)
+	if err != nil {
+		return err
+	}
+	cfg.Layers = *layers
+	t := report.NewTable(
+		fmt.Sprintf("Projection: H=%d SL=%d L=%d TP=%d", *h, *sl, *layers, *tp),
+		"flop-vs-bw", "compute", "serialized comm", "comm fraction (%)")
+	for _, ratio := range []float64{1, 2, 4} {
+		p, err := m.ProjectIteration(cfg, *tp, evoFlag(ratio))
+		if err != nil {
+			return err
+		}
+		t.AddRow(fmt.Sprintf("%gx", ratio), p.Compute.String(),
+			p.SerializedComm.String(), report.Pct(p.CommFraction()))
+	}
+	return t.Render(w)
+}
+
+// cmdTimeline projects the communication share of every published model
+// at its era's TP degree — the paper's narrative as one table.
+func cmdTimeline(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("timeline", flag.ContinueOnError)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	a, err := newAnalyzer()
+	if err != nil {
+		return err
+	}
+	rows, err := a.ZooTimeline(model.Zoo())
+	if err != nil {
+		return err
+	}
+	t := report.NewTable("Communication share of real models at their era's TP degree",
+		"model", "year", "TP", "1x (%)", "2x (%)", "4x (%)")
+	for _, r := range rows {
+		t.AddRow(r.Model, fmt.Sprint(r.Year), fmt.Sprint(r.TP),
+			report.Pct(r.Frac1x), report.Pct(r.Frac2x), report.Pct(r.Frac4x))
+	}
+	if err := t.Render(w); err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "  each column: serialized comm share under 1x/2x/4x compute-vs-network")
+	fmt.Fprintln(w, "  scaling. Reading down a column = model growth; across = hw evolution.")
+	return nil
+}
+
+// cmdScaling sweeps TP×DP splits of a fixed device budget.
+func cmdScaling(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("scaling", flag.ContinueOnError)
+	h := fs.Int("h", 8192, "hidden dimension")
+	layers := fs.Int("layers", 8, "layer count to simulate")
+	devices := fs.Int("devices", 256, "total device budget")
+	flopbw := fs.Float64("flopbw", 1, "flop-vs-bw hardware scaling")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	a, err := newAnalyzer()
+	if err != nil {
+		return err
+	}
+	cfg, err := core.FutureConfig(*h, 2048, 1)
+	if err != nil {
+		return err
+	}
+	cfg.Layers = *layers
+	rows, err := a.ScalingStudy(cfg, *devices,
+		[]int{2, 4, 8, 16, 32, 64, 128}, evoFlag(*flopbw))
+	if err != nil {
+		return err
+	}
+	t := report.NewTable(
+		fmt.Sprintf("Throughput vs parallelism split: H=%d, %d devices, flop-vs-bw %gx",
+			*h, *devices, *flopbw),
+		"TP", "DP", "iteration", "tokens/s", "comm fraction (%)")
+	for _, r := range rows {
+		t.AddRow(fmt.Sprint(r.TP), fmt.Sprint(r.DP), r.Makespan.String(),
+			fmt.Sprintf("%.0f", r.TokensPerSec), report.Pct(r.CommFraction))
+	}
+	if err := t.Render(w); err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "  every doubling of TP trades data-parallel throughput for serialized")
+	fmt.Fprintln(w, "  communication — memory pressure forces exactly this trade (§2.4).")
+	return nil
+}

@@ -1,0 +1,365 @@
+// Command twocs runs the Comp-vs-Comm analyses from the command line.
+//
+// Usage:
+//
+//	twocs <subcommand> [flags]
+//
+// Subcommands:
+//
+//	zoo          Table 2: the published-model zoo and parameter counts
+//	memory       Figure 6: model memory demand vs device capacity trend
+//	algorithmic  Figure 7: algorithmic slack and edge scaling
+//	tp           Figure 9b: required tensor-parallel scaling
+//	serialized   Figures 10/12: serialized communication fraction grid
+//	overlapped   Figures 11/13: overlapped communication percentage grid
+//	casestudy    Figure 14: end-to-end serialized + overlapped case study
+//	validate     Figure 15: operator-level model accuracy
+//	speedup      §4.3.8: profiling-cost comparison (2100x / 1.5x claims)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"twocs/internal/core"
+	"twocs/internal/hw"
+	"twocs/internal/model"
+	"twocs/internal/report"
+	"twocs/internal/units"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "twocs:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	if len(args) == 0 {
+		usage()
+		return fmt.Errorf("missing subcommand")
+	}
+	cmd, rest := args[0], args[1:]
+	switch cmd {
+	case "zoo":
+		return cmdZoo(rest, w)
+	case "memory":
+		return cmdMemory(rest, w)
+	case "algorithmic":
+		return cmdAlgorithmic(rest, w)
+	case "tp":
+		return cmdTP(rest, w)
+	case "serialized":
+		return cmdSerialized(rest, w)
+	case "overlapped":
+		return cmdOverlapped(rest, w)
+	case "casestudy":
+		return cmdCaseStudy(rest, w)
+	case "validate":
+		return cmdValidate(rest, w)
+	case "speedup":
+		return cmdSpeedup(rest, w)
+	case "pipeline":
+		return cmdPipeline(rest, w)
+	case "precision":
+		return cmdPrecision(rest, w)
+	case "techniques":
+		return cmdTechniques(rest, w)
+	case "zero":
+		return cmdZero(rest, w)
+	case "moe":
+		return cmdMoE(rest, w)
+	case "inference":
+		return cmdInference(rest, w)
+	case "gantt":
+		return cmdGantt(rest, w)
+	case "scaling":
+		return cmdScaling(rest, w)
+	case "timeline":
+		return cmdTimeline(rest, w)
+	case "calibrate":
+		return cmdCalibrate(rest, w)
+	case "project":
+		return cmdProject(rest, w)
+	case "memsim":
+		return cmdMemSim(rest, w)
+	case "diagnose":
+		return cmdDiagnose(rest, w)
+	case "help", "-h", "--help":
+		usage()
+		return nil
+	default:
+		usage()
+		return fmt.Errorf("unknown subcommand %q", cmd)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: twocs <subcommand> [flags]
+
+subcommands:
+  zoo          Table 2: published-model zoo and parameter counts
+  memory       Figure 6: memory demand vs capacity trends
+  algorithmic  Figure 7: algorithmic slack and edge scaling
+  tp           Figure 9b: required tensor-parallel scaling
+  serialized   Figures 10/12: serialized comm fraction (-flopbw 1|2|4)
+  overlapped   Figures 11/13: overlapped comm percentage (-flopbw, -tp)
+  casestudy    Figure 14: end-to-end case study
+  validate     Figure 15: operator-level model accuracy
+  speedup      profiling-cost comparison (2100x / 1.5x)
+
+extensions:
+  pipeline     §6.1.2: pipeline-parallel bubble and transfer costs
+  precision    §6.2: number-format study (FP32/FP16/BF16/FP8)
+  techniques   §5: communication-acceleration techniques
+  zero         §6.1.3: ZeRO sharding vs plain data parallelism
+  moe          §6.1.1: Mixture-of-Experts all-to-all costs
+  inference    §6.3: forward-only comm share
+  gantt        draw one simulated iteration as an ASCII Gantt chart
+  diagnose     per-operator projection-error audit (-json)
+  memsim       simulate one iteration's memory timeline
+  timeline     comm share of every zoo model at its era's TP
+  scaling      throughput vs TP×DP split of a fixed device budget
+  calibrate    profile the baseline and save the operator model (-o)
+  project      project a config from a saved calibration (-calibration)`)
+}
+
+// newAnalyzer builds the standard analyzer: BERT baseline at TP=4 on the
+// paper's MI210 node (§4.3.1).
+func newAnalyzer() (*core.Analyzer, error) {
+	e, err := model.LookupZoo("BERT")
+	if err != nil {
+		return nil, err
+	}
+	return core.NewAnalyzer(hw.MI210Cluster(1, 0), e.Config, 4)
+}
+
+func cmdZoo(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("zoo", flag.ContinueOnError)
+	csv := fs.Bool("csv", false, "emit CSV")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	t := report.NewTable("Table 2: NLP model hyperparameters",
+		"model", "year", "layers", "H", "heads", "SL", "FC", "type",
+		"paper size (B)", "computed (B)")
+	for _, e := range model.Zoo() {
+		c := e.Config
+		t.AddRow(c.Name, fmt.Sprint(e.Year), fmt.Sprint(c.Layers),
+			fmt.Sprint(c.Hidden), fmt.Sprint(c.Heads), fmt.Sprint(c.SeqLen),
+			fmt.Sprint(c.FCDim), c.Kind.String(),
+			report.F(e.PaperSizeB), report.F(c.Params()/1e9))
+	}
+	if *csv {
+		return t.RenderCSV(w)
+	}
+	return t.Render(w)
+}
+
+func cmdMemory(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("memory", flag.ContinueOnError)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	capAt := func(year int) (float64, error) {
+		c, err := hw.CapacityAt(year)
+		return float64(c), err
+	}
+	rows, err := core.MemoryTrend(model.Zoo(), capAt)
+	if err != nil {
+		return err
+	}
+	t := report.NewTable("Figure 6: model memory demand (H·SL) vs device capacity (normalized to BERT)",
+		"model", "year", "demand (norm)", "capacity (norm)", "gap")
+	for _, r := range rows {
+		t.AddRow(r.Model, fmt.Sprint(r.Year), report.F(r.NormDemand),
+			report.F(r.NormCapacity), report.F(r.NormDemand/r.NormCapacity))
+	}
+	return t.Render(w)
+}
+
+func cmdAlgorithmic(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("algorithmic", flag.ContinueOnError)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rows, err := core.AlgorithmicScaling(model.Zoo())
+	if err != nil {
+		return err
+	}
+	t := report.NewTable("Figure 7: algorithmic scaling of slack (SL·B) and edge ((H+SL)/TP), normalized to BERT",
+		"model", "year", "slack", "edge", "norm slack", "norm edge")
+	var slacks, edges []float64
+	for _, r := range rows {
+		t.AddRow(r.Model, fmt.Sprint(r.Year), report.F(r.Slack), report.F(r.Edge),
+			report.F(r.NormSlack), report.F(r.NormEdge))
+		slacks = append(slacks, r.NormSlack)
+		edges = append(edges, r.NormEdge)
+	}
+	if err := t.Render(w); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "  slack shape: %s   edge shape: %s\n",
+		report.Sparkline(slacks), report.Sparkline(edges))
+	last := rows[len(rows)-1]
+	fmt.Fprintf(w, "  slack drop vs BERT: %s   edge drop vs BERT: %s (paper: ~75%% and ~80%%)\n",
+		units.Percent(1-last.NormSlack), units.Percent(1-last.NormEdge))
+	return nil
+}
+
+func cmdTP(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("tp", flag.ContinueOnError)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	ests, err := distEstimates()
+	if err != nil {
+		return err
+	}
+	t := report.NewTable("Figure 9b: required TP scaling (base_TP=8 × p/s)",
+		"model", "year", "size ratio p", "capacity scale s", "p/s", "required TP")
+	for _, e := range ests {
+		t.AddRow(e.Model, fmt.Sprint(e.Year), report.F(e.SizeRatio),
+			report.F(e.CapacityScale), report.F(e.TPScale), report.F(e.RequiredTP))
+	}
+	return t.Render(w)
+}
+
+func cmdSerialized(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("serialized", flag.ContinueOnError)
+	flopbw := fs.Float64("flopbw", 1, "flop-vs-bw hardware scaling (1, 2 or 4)")
+	b := fs.Int("b", 1, "batch size")
+	csv := fs.Bool("csv", false, "emit CSV")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	a, err := newAnalyzer()
+	if err != nil {
+		return err
+	}
+	evo := hw.Identity()
+	if *flopbw != 1 {
+		evo = hw.FlopVsBWScenario(*flopbw)
+	}
+	pts, err := a.SerializedSweep(core.Table3Hs(), core.Table3SLs(), core.Table3TPs(), *b, evo)
+	if err != nil {
+		return err
+	}
+	title := fmt.Sprintf("Figure 10/12: serialized comm fraction of training time (flop-vs-bw %gx, B=%d)", *flopbw, *b)
+	t := report.NewTable(title, "H", "SL", "TP", "comm fraction (%)")
+	for _, p := range pts {
+		t.AddRow(fmt.Sprint(p.H), fmt.Sprint(p.SL), fmt.Sprint(p.TP), report.Pct(p.Fraction))
+	}
+	if *csv {
+		return t.RenderCSV(w)
+	}
+	return t.Render(w)
+}
+
+func cmdOverlapped(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("overlapped", flag.ContinueOnError)
+	flopbw := fs.Float64("flopbw", 1, "flop-vs-bw hardware scaling (1, 2 or 4)")
+	tp := fs.Int("tp", 16, "tensor-parallel degree of the sliced model")
+	csv := fs.Bool("csv", false, "emit CSV")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	a, err := newAnalyzer()
+	if err != nil {
+		return err
+	}
+	evo := hw.Identity()
+	if *flopbw != 1 {
+		evo = hw.FlopVsBWScenario(*flopbw)
+	}
+	pts, err := a.OverlappedSweep(core.Table3Hs(), core.Table3SLs(), *tp, evo)
+	if err != nil {
+		return err
+	}
+	title := fmt.Sprintf("Figure 11/13: overlapped comm as %% of compute (flop-vs-bw %gx, TP=%d); >=100 means exposed", *flopbw, *tp)
+	t := report.NewTable(title, "H", "SL·B", "overlap (%)")
+	for _, p := range pts {
+		t.AddRow(fmt.Sprint(p.H), fmt.Sprint(p.SLB), fmt.Sprintf("%.1f", p.Percent))
+	}
+	if *csv {
+		return t.RenderCSV(w)
+	}
+	return t.Render(w)
+}
+
+func cmdCaseStudy(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("casestudy", flag.ContinueOnError)
+	layers := fs.Int("layers", 16, "layer count to simulate (fractions are stable beyond ~8)")
+	flopbw := fs.Float64("flopbw", 4, "flop-vs-bw hardware scaling")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	a, err := newAnalyzer()
+	if err != nil {
+		return err
+	}
+	cfg, err := core.FutureConfig(65536, 4096, 1)
+	if err != nil {
+		return err
+	}
+	cfg.Layers = *layers
+	res, err := a.CaseStudy(cfg, 128, 4, hw.FlopVsBWScenario(*flopbw), core.PaperScenariosFig14())
+	if err != nil {
+		return err
+	}
+	t := report.NewTable(
+		fmt.Sprintf("Figure 14: H=64K B=1 SL=4K TP=128 DP=4, flop-vs-bw %gx (paper: 47%% serialized + 9%% overlapped-hidden)", *flopbw),
+		"scenario", "makespan", "compute %", "serialized %", "DP hidden %", "DP exposed %")
+	for _, r := range res {
+		t.AddRow(r.Scenario.Name, r.Makespan.String(), report.Pct(r.ComputeFrac),
+			report.Pct(r.SerializedCommFrac), report.Pct(r.HiddenDPFrac), report.Pct(r.ExposedDPFrac))
+	}
+	return t.Render(w)
+}
+
+func cmdValidate(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("validate", flag.ContinueOnError)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	results, err := runValidationSuite()
+	if err != nil {
+		return err
+	}
+	t := report.NewTable("Figure 15: operator-level model accuracy (projected vs measured)",
+		"sweep", "points", "geomean err (%)", "max err (%)", "paper")
+	paper := map[string]string{
+		"gemm-vs-sl":        "~15%",
+		"gemm-vs-h":         "~15%",
+		"layernorm-vs-sl":   "~7%",
+		"layernorm-vs-h":    "~7%",
+		"allreduce-vs-size": "~11%",
+	}
+	for _, v := range results {
+		t.AddRow(v.Name, fmt.Sprint(len(v.Points)),
+			fmt.Sprintf("%.1f", v.GeoMeanErr*100),
+			fmt.Sprintf("%.1f", v.MaxErr*100), paper[v.Name])
+	}
+	return t.Render(w)
+}
+
+func cmdSpeedup(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("speedup", flag.ContinueOnError)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rep, roiSpeedup, err := profilingSpeedup()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "Profiling-cost comparison (§4.3.8)\n")
+	fmt.Fprintf(w, "  exhaustive (all %d sweep configs end-to-end): %v\n",
+		core.SweepConfigCount(), rep.Exhaustive)
+	fmt.Fprintf(w, "  strategy (one baseline + collective sweep):   %v\n", rep.Strategy)
+	fmt.Fprintf(w, "  speedup: %.0fx   (paper: ~2100x)\n", rep.Speedup)
+	fmt.Fprintf(w, "  ROI vs full-iteration speedup: %.2fx (paper: ~1.5x)\n", roiSpeedup)
+	return nil
+}

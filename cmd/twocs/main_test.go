@@ -1,0 +1,252 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+func runCmd(t *testing.T, args ...string) string {
+	t.Helper()
+	var b strings.Builder
+	if err := run(args, &b); err != nil {
+		t.Fatalf("run(%v): %v", args, err)
+	}
+	return b.String()
+}
+
+func TestRunNoArgs(t *testing.T) {
+	var b strings.Builder
+	if err := run(nil, &b); err == nil {
+		t.Error("missing subcommand accepted")
+	}
+}
+
+func TestRunUnknown(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"frobnicate"}, &b); err == nil {
+		t.Error("unknown subcommand accepted")
+	}
+}
+
+func TestRunHelp(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"help"}, &b); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCmdZoo(t *testing.T) {
+	out := runCmd(t, "zoo")
+	for _, want := range []string{"BERT", "PaLM", "MT-NLG", "Table 2"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("zoo output missing %q", want)
+		}
+	}
+}
+
+func TestCmdZooCSV(t *testing.T) {
+	out := runCmd(t, "zoo", "-csv")
+	if !strings.HasPrefix(out, "model,year,") {
+		t.Errorf("csv header missing: %q", out[:40])
+	}
+}
+
+func TestCmdMemory(t *testing.T) {
+	out := runCmd(t, "memory")
+	if !strings.Contains(out, "Figure 6") || !strings.Contains(out, "gap") {
+		t.Errorf("memory output:\n%s", out)
+	}
+}
+
+func TestCmdAlgorithmic(t *testing.T) {
+	out := runCmd(t, "algorithmic")
+	if !strings.Contains(out, "slack drop vs BERT: 75.0%") {
+		t.Errorf("algorithmic output missing the Fig 7 slack drop:\n%s", out)
+	}
+}
+
+func TestCmdTP(t *testing.T) {
+	out := runCmd(t, "tp")
+	if !strings.Contains(out, "Figure 9b") || !strings.Contains(out, "MT-NLG") {
+		t.Errorf("tp output:\n%s", out)
+	}
+}
+
+func TestCmdSerialized(t *testing.T) {
+	out := runCmd(t, "serialized", "-flopbw", "4")
+	if !strings.Contains(out, "flop-vs-bw 4x") {
+		t.Errorf("serialized output:\n%s", out[:200])
+	}
+	if strings.Count(out, "\n") < 100 {
+		t.Error("expected the full sweep grid")
+	}
+}
+
+func TestCmdOverlapped(t *testing.T) {
+	out := runCmd(t, "overlapped", "-tp", "16")
+	if !strings.Contains(out, "TP=16") {
+		t.Errorf("overlapped output:\n%s", out[:200])
+	}
+}
+
+func TestCmdCaseStudy(t *testing.T) {
+	out := runCmd(t, "casestudy", "-layers", "4")
+	if !strings.Contains(out, "inter-node DP") {
+		t.Errorf("casestudy output:\n%s", out)
+	}
+}
+
+func TestCmdValidate(t *testing.T) {
+	out := runCmd(t, "validate")
+	for _, want := range []string{"gemm-vs-sl", "allreduce-vs-size", "~11%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("validate output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCmdSpeedup(t *testing.T) {
+	out := runCmd(t, "speedup")
+	if !strings.Contains(out, "speedup:") || !strings.Contains(out, "ROI") {
+		t.Errorf("speedup output:\n%s", out)
+	}
+}
+
+func TestCmdPipeline(t *testing.T) {
+	out := runCmd(t, "pipeline", "-layers", "8", "-h", "4096")
+	if !strings.Contains(out, "bubble %") {
+		t.Errorf("pipeline output:\n%s", out)
+	}
+}
+
+func TestCmdPrecision(t *testing.T) {
+	out := runCmd(t, "precision")
+	for _, want := range []string{"FP32", "FP16", "FP8"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("precision output missing %q", want)
+		}
+	}
+}
+
+func TestCmdTechniques(t *testing.T) {
+	out := runCmd(t, "techniques")
+	if !strings.Contains(out, "in-network reduction (PIN)") {
+		t.Errorf("techniques output:\n%s", out)
+	}
+}
+
+func TestCmdZero(t *testing.T) {
+	out := runCmd(t, "zero")
+	if !strings.Contains(out, "ZeRO-3") {
+		t.Errorf("zero output:\n%s", out)
+	}
+}
+
+func TestCmdMoE(t *testing.T) {
+	out := runCmd(t, "moe")
+	if !strings.Contains(out, "dense") || !strings.Contains(out, "all-to-all") {
+		t.Errorf("moe output:\n%s", out)
+	}
+}
+
+func TestCmdInference(t *testing.T) {
+	out := runCmd(t, "inference")
+	if !strings.Contains(out, "PaLM-3x") {
+		t.Errorf("inference output:\n%s", out)
+	}
+}
+
+func TestCmdGantt(t *testing.T) {
+	out := runCmd(t, "gantt", "-layers", "2", "-h", "4096")
+	for _, want := range []string{"#", "=", "~", "critical path"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("gantt output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestBadFlags(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"serialized", "-nosuchflag"}, &b); err == nil {
+		t.Error("bad flag accepted")
+	}
+}
+
+func TestCmdDiagnose(t *testing.T) {
+	out := runCmd(t, "diagnose", "-h", "4096", "-tp", "16")
+	if !strings.Contains(out, "layer error") || !strings.Contains(out, "fwd.fc.fc1") {
+		t.Errorf("diagnose output:\n%s", out)
+	}
+}
+
+func TestCmdDiagnoseJSON(t *testing.T) {
+	out := runCmd(t, "diagnose", "-json")
+	if !strings.Contains(out, "\"LayerErr\"") {
+		t.Errorf("diagnose json output:\n%s", out[:200])
+	}
+}
+
+func TestCmdMemSim(t *testing.T) {
+	out := runCmd(t, "memsim", "-h", "4096", "-layers", "4")
+	for _, want := range []string{"state floor", "peak", "timeline"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("memsim output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCalibrateProjectRoundTrip(t *testing.T) {
+	path := t.TempDir() + "/cal.json"
+	out := runCmd(t, "calibrate", "-o", path)
+	if !strings.Contains(out, "calibrated BERT") {
+		t.Errorf("calibrate output:\n%s", out)
+	}
+	out = runCmd(t, "project", "-calibration", path, "-h", "8192", "-tp", "16")
+	if !strings.Contains(out, "comm fraction") || !strings.Contains(out, "4x") {
+		t.Errorf("project output:\n%s", out)
+	}
+}
+
+func TestProjectWithoutCalibration(t *testing.T) {
+	out := runCmd(t, "project", "-h", "4096", "-tp", "16", "-layers", "4")
+	if !strings.Contains(out, "Projection: H=4096") {
+		t.Errorf("project output:\n%s", out)
+	}
+}
+
+func TestProjectMissingCalibrationFile(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"project", "-calibration", "/nonexistent/x.json"}, &b); err == nil {
+		t.Error("missing calibration file accepted")
+	}
+}
+
+func TestCmdTimeline(t *testing.T) {
+	out := runCmd(t, "timeline")
+	if !strings.Contains(out, "Megatron-LM") || !strings.Contains(out, "4x (%)") {
+		t.Errorf("timeline output:\n%s", out)
+	}
+}
+
+func TestCmdGanttTraceExport(t *testing.T) {
+	path := t.TempDir() + "/trace.json"
+	out := runCmd(t, "gantt", "-layers", "2", "-h", "4096", "-trace", path)
+	if !strings.Contains(out, "chrome trace written") {
+		t.Errorf("gantt output:\n%s", out)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"ph":"X"`) {
+		t.Error("trace file missing events")
+	}
+}
+
+func TestCmdScaling(t *testing.T) {
+	out := runCmd(t, "scaling", "-h", "4096", "-layers", "2", "-devices", "64")
+	if !strings.Contains(out, "tokens/s") {
+		t.Errorf("scaling output:\n%s", out)
+	}
+}

@@ -1,0 +1,70 @@
+package twocs_test
+
+import (
+	"fmt"
+
+	"twocs"
+)
+
+// The zoo carries the paper's Table 2 models.
+func ExampleZoo() {
+	for _, e := range twocs.Zoo() {
+		fmt.Printf("%s (%d)\n", e.Config.Name, e.Year)
+	}
+	// Output:
+	// BERT (2018)
+	// T5 (2019)
+	// GPT-2 (2019)
+	// Megatron-LM (2019)
+	// T-NLG (2020)
+	// GPT-3 (2020)
+	// MT-NLG (2021)
+	// PaLM (2022)
+}
+
+// Compute's slack to hide overlapped communication is O(SL·B) (Eq 9).
+func ExampleSlackAdvantage() {
+	bert, _ := twocs.LookupZoo("BERT")
+	palm, _ := twocs.LookupZoo("PaLM")
+	fmt.Println(twocs.SlackAdvantage(bert.Config))
+	fmt.Println(twocs.SlackAdvantage(palm.Config))
+	// Output:
+	// 8192
+	// 2048
+}
+
+// Compute's Amdahl's-law edge over serialized communication is
+// O((H+SL)/TP) (Eq 6).
+func ExampleEdgeComplexity() {
+	bert, _ := twocs.LookupZoo("BERT")
+	edge, _ := twocs.EdgeComplexity(bert.Config, 4)
+	fmt.Println(edge)
+	// Output:
+	// 384
+}
+
+// AlgorithmicScaling reproduces Figure 7: PaLM's slack is 25% of BERT's
+// (a ~75% drop) and its edge ~21% (a ~80% drop).
+func ExampleAlgorithmicScaling() {
+	rows, _ := twocs.AlgorithmicScaling(twocs.Zoo())
+	last := rows[len(rows)-1]
+	fmt.Printf("%s: slack %.2f, edge %.3f\n", last.Model, last.NormSlack, last.NormEdge)
+	// Output:
+	// PaLM: slack 0.25, edge 0.208
+}
+
+// FutureConfig builds the proportional future Transformers the sweeps use.
+func ExampleFutureConfig() {
+	cfg, _ := twocs.FutureConfig(65536, 4096, 1)
+	fmt.Println(cfg.Hidden, cfg.FCDim, cfg.SeqLen, cfg.Batch)
+	// Output:
+	// 65536 262144 4096 1
+}
+
+// Hardware evolution scenarios scale compute relative to the network.
+func ExampleFlopVsBW() {
+	evo := twocs.FlopVsBW(4)
+	fmt.Println(evo.FlopVsBW())
+	// Output:
+	// 4
+}

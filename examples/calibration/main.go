@@ -1,0 +1,77 @@
+// calibration demonstrates the profile-once / project-anywhere workflow
+// the paper's methodology enables: profiling the baseline is the only
+// expensive step, so the calibrated operator model is saved to disk and
+// any later process — on a machine with no accelerators at all — can
+// project hundreds of configurations from the JSON file.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"twocs"
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "twocs-calibration")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "calibration.json")
+
+	// Step 1 — the expensive part: profile the baseline and save.
+	a, err := twocs.NewAnalyzer()
+	if err != nil {
+		log.Fatal(err)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := a.OpModel.Save(f); err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+	fi, err := os.Stat(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("profiled once (%v of accelerator time), saved %d bytes of calibration\n\n",
+		a.StrategyLedger.Total(), fi.Size())
+
+	// Step 2 — anywhere else: load and project. No profiling happens
+	// past this point.
+	g, err := os.Open(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer g.Close()
+	m, err := twocs.LoadCalibration(g)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("projections from the loaded calibration:")
+	for _, spec := range []struct {
+		h, sl, tp int
+	}{
+		{4096, 1024, 16}, {16384, 2048, 64}, {65536, 4096, 256},
+	} {
+		cfg, err := twocs.FutureConfig(spec.h, spec.sl, 1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg.Layers = 118
+		p, err := m.ProjectIteration(cfg, spec.tp, twocs.FlopVsBW(4))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  H=%-6d TP=%-4d -> %5.1f%% communication at 4x flop-vs-bw\n",
+			spec.h, spec.tp, p.CommFraction()*100)
+	}
+}

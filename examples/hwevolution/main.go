@@ -1,0 +1,66 @@
+// hwevolution sweeps the flop-vs-bw axis to find the crossover points
+// the paper warns about: where serialized communication becomes the
+// majority of training time (Fig 12) and where previously hidden
+// overlapped communication is exposed (Fig 13, >=100% of compute).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"twocs"
+)
+
+func main() {
+	a, err := twocs.NewAnalyzer()
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg, err := twocs.FutureConfig(16384, 2048, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg.Layers = 118
+
+	fmt.Println("Hardware-evolution sweep for a PaLM-1x-class model (H=16K, SL=2K, TP=64)")
+	fmt.Println()
+	fmt.Println("  flop-vs-bw  serialized comm  overlapped comm (% of compute)")
+
+	serializedCross, overlapCross := 0.0, 0.0
+	for _, ratio := range []float64{1, 1.5, 2, 3, 4, 6, 8} {
+		evo := twocs.Today()
+		if ratio > 1 {
+			evo = twocs.FlopVsBW(ratio)
+		}
+		p, err := a.SerializedFraction(cfg, 64, evo)
+		if err != nil {
+			log.Fatal(err)
+		}
+		pct, err := a.OverlappedPercent(cfg, 64, evo)
+		if err != nil {
+			log.Fatal(err)
+		}
+		mark := ""
+		if p.CommFraction() >= 0.5 && serializedCross == 0 {
+			serializedCross = ratio
+			mark += "  <- comm becomes the majority"
+		}
+		if pct >= 100 && overlapCross == 0 {
+			overlapCross = ratio
+			mark += "  <- overlapped comm exposed"
+		}
+		fmt.Printf("  %8.1fx   %13.1f%%  %13.1f%%%s\n",
+			ratio, p.CommFraction()*100, pct, mark)
+	}
+
+	fmt.Println()
+	if serializedCross > 0 {
+		fmt.Printf("Serialized communication dominates from ~%.1fx compute-vs-network scaling.\n", serializedCross)
+	}
+	if overlapCross > 0 {
+		fmt.Printf("Gradient all-reduces can no longer hide from ~%.1fx.\n", overlapCross)
+	}
+	fmt.Println("If networks keep scaling 2-4x slower than compute per generation (the")
+	fmt.Println("paper's historical observation), both crossovers arrive within one or")
+	fmt.Println("two hardware generations.")
+}

@@ -1,0 +1,52 @@
+// inference applies the Comp-vs-Comm analysis to distributed inference
+// (§6.3): a forward-only pass under tensor parallelism still carries two
+// serialized all-reduces per layer, and with no backward pass to amortize
+// overheads the communication share is higher than in training.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"twocs"
+)
+
+func main() {
+	a, err := twocs.NewAnalyzer()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("Forward-only (inference) vs full-iteration (training) comm share")
+	fmt.Println()
+	fmt.Println("  model          TP   training   inference")
+	for _, spec := range []struct {
+		name  string
+		h, sl int
+		tp    int
+	}{
+		{"T-NLG-class", 4096, 1024, 16},
+		{"PaLM-1x", 16384, 2048, 64},
+		{"PaLM-3x", 65536, 4096, 256},
+	} {
+		cfg, err := twocs.FutureConfig(spec.h, spec.sl, 1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg.Layers = 118
+		train, err := a.SerializedFraction(cfg, spec.tp, twocs.Today())
+		if err != nil {
+			log.Fatal(err)
+		}
+		infer, err := a.ProjectInference(cfg, spec.tp, twocs.Today())
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-13s  %-3d  %7.1f%%   %8.1f%%\n",
+			spec.name, spec.tp, train.CommFraction()*100, infer.CommFraction()*100)
+	}
+	fmt.Println()
+	fmt.Println("Distributed inference inherits training's serialized communication,")
+	fmt.Println("so the paper's conclusions carry over wherever a model is too large")
+	fmt.Println("to serve from a single device.")
+}

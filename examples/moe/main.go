@@ -1,0 +1,53 @@
+// moe extends the analysis to Mixture-of-Experts Transformers (§6.1.1):
+// expert parallelism adds serialized all-to-all communication for routing
+// tokens to experts, on top of tensor parallelism's all-reduces — so the
+// communication share grows even before any hardware evolution.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"twocs"
+)
+
+func main() {
+	a, err := twocs.NewAnalyzer()
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg, err := twocs.FutureConfig(16384, 2048, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg.Layers = 118
+	const tp = 64
+
+	dense, err := a.SerializedFraction(cfg, tp, twocs.Today())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Dense model (H=16K, SL=2K, TP=%d):\n", tp)
+	fmt.Printf("  compute %v, all-reduce %v  ->  %.1f%% communication\n\n",
+		dense.Compute, dense.SerializedComm, dense.CommFraction()*100)
+
+	fmt.Println("MoE variants (same dense backbone + expert-parallel all-to-all):")
+	fmt.Println("  experts  all-to-all   total comm share")
+	for _, experts := range []int{4, 8, 16, 32} {
+		moe, err := a.ProjectMoE(cfg, tp, experts, twocs.Today())
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-7d  %-10v  %.1f%%\n", experts, moe.AllToAll, moe.CommFraction()*100)
+	}
+
+	fmt.Println()
+	fmt.Println("Under 4x flop-vs-bw evolution the same MoE:")
+	moe, err := a.ProjectMoE(cfg, tp, 16, twocs.FlopVsBW(4))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  %.1f%% of every iteration is serialized communication.\n", moe.CommFraction()*100)
+	fmt.Println("MoE's cheaper compute per token makes the communication share strictly")
+	fmt.Println("worse — reinforcing the paper's call for communication-first design.")
+}

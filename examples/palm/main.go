@@ -1,0 +1,64 @@
+// palm walks a PaLM-class model through the paper's workflow: estimate
+// the tensor-parallel degree its memory footprint demands (Fig 9b), then
+// project how the serialized-communication share grows as the TP degree
+// is pushed toward that requirement (Fig 10).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"twocs"
+)
+
+func main() {
+	entry, err := twocs.LookupZoo("PaLM")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Step 1 — required TP per the paper's estimator base_TP · p/s.
+	ests, err := twocs.EstimateRequiredTP([]twocs.ZooEntry{entry})
+	if err != nil {
+		log.Fatal(err)
+	}
+	est := ests[0]
+	fmt.Printf("%s (%d): %.0fx Megatron-LM_BERT's size, deployed capacity grew %.1fx\n",
+		est.Model, est.Year, est.SizeRatio, est.CapacityScale)
+	fmt.Printf("  -> required TP scaling p/s = %.0fx, i.e. TP ~ %.0f devices\n\n",
+		est.TPScale, est.RequiredTP)
+
+	// Step 2 — what that TP requirement costs in communication. PaLM's
+	// published head count (48) does not divide large power-of-two TP
+	// degrees, so project the proportional PaLM-1x stand-in the paper
+	// sweeps instead (H=16K).
+	a, err := twocs.NewAnalyzer()
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg, err := twocs.FutureConfig(16384, 2048, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg.Layers = entry.Config.Layers
+
+	fmt.Println("Serialized comm share vs TP degree (PaLM-1x-class, H=16K, SL=2K):")
+	fmt.Println("  TP    today    2x flop-vs-bw   4x flop-vs-bw")
+	for _, tp := range []int{16, 32, 64, 128, 256} {
+		row := fmt.Sprintf("  %-4d", tp)
+		for _, ratio := range []float64{1, 2, 4} {
+			evo := twocs.Today()
+			if ratio > 1 {
+				evo = twocs.FlopVsBW(ratio)
+			}
+			p, err := a.SerializedFraction(cfg, tp, evo)
+			if err != nil {
+				log.Fatal(err)
+			}
+			row += fmt.Sprintf("  %6.1f%%      ", p.CommFraction()*100)
+		}
+		fmt.Println(row)
+	}
+	fmt.Println("\nPushing TP toward the memory-required degree puts communication on")
+	fmt.Println("the critical path for an ever larger share of every iteration.")
+}

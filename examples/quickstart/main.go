@@ -1,0 +1,44 @@
+// Quickstart: project the communication share of one future Transformer
+// on today's and tomorrow's hardware — the library's core question in
+// ~30 lines.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"twocs"
+)
+
+func main() {
+	// Profile the BERT baseline on an MI210-class node and calibrate
+	// the operator-level model (the paper's one expensive step).
+	a, err := twocs.NewAnalyzer()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A futuristic Transformer: H=64K, SL=4K, B=1 (the paper's
+	// PaLM-3x-class model), sliced across 256 devices.
+	cfg, err := twocs.FutureConfig(65536, 4096, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg.Layers = 160
+
+	fmt.Println("Serialized communication share of a training iteration")
+	fmt.Printf("model: %v  TP=256\n\n", cfg)
+	for _, ratio := range []float64{1, 2, 4} {
+		evo := twocs.Today()
+		if ratio > 1 {
+			evo = twocs.FlopVsBW(ratio)
+		}
+		p, err := a.SerializedFraction(cfg, 256, evo)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  flop-vs-bw %.0fx: compute %v + comm %v  ->  %5.1f%% communication\n",
+			ratio, p.Compute, p.SerializedComm, p.CommFraction()*100)
+	}
+	fmt.Println("\nAs compute outpaces the network, communication takes over the iteration.")
+}

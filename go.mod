@@ -1,0 +1,3 @@
+module twocs
+
+go 1.22

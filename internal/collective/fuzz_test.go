@@ -1,0 +1,105 @@
+package collective
+
+import (
+	"math"
+	"testing"
+
+	"twocs/internal/units"
+)
+
+// Fuzz targets execute their seed corpus under `go test` and can be
+// explored further with `go test -fuzz=Fuzz<Name>`.
+
+func FuzzChunkBounds(f *testing.F) {
+	f.Add(10, 3)
+	f.Add(0, 1)
+	f.Add(7, 8)
+	f.Add(1000, 7)
+	f.Fuzz(func(t *testing.T, n, p int) {
+		if n < 0 || p < 1 || n > 1<<20 || p > 1<<10 {
+			t.Skip()
+		}
+		prevHi := 0
+		total := 0
+		for i := 0; i < p; i++ {
+			lo, hi := chunkBounds(n, p, i)
+			if lo != prevHi {
+				t.Fatalf("chunk %d starts at %d, want %d (contiguity)", i, lo, prevHi)
+			}
+			if hi < lo {
+				t.Fatalf("chunk %d inverted: [%d,%d)", i, lo, hi)
+			}
+			if hi-lo > n/p+1 {
+				t.Fatalf("chunk %d size %d exceeds balance bound", i, hi-lo)
+			}
+			total += hi - lo
+			prevHi = hi
+		}
+		if total != n {
+			t.Fatalf("chunks cover %d of %d elements", total, n)
+		}
+	})
+}
+
+func FuzzRingAllReduce(f *testing.F) {
+	f.Add(uint8(3), uint8(7), int64(1))
+	f.Add(uint8(1), uint8(1), int64(2))
+	f.Add(uint8(8), uint8(64), int64(3))
+	f.Fuzz(func(t *testing.T, nSeed, wSeed uint8, seed int64) {
+		n := int(nSeed)%8 + 1
+		width := int(wSeed)%64 + 1
+		inputs := make([][]float64, n)
+		want := make([]float64, width)
+		x := seed
+		next := func() float64 {
+			x = x*6364136223846793005 + 1442695040888963407
+			return float64(x%1000) / 10
+		}
+		for r := range inputs {
+			inputs[r] = make([]float64, width)
+			for i := range inputs[r] {
+				inputs[r][i] = next()
+				want[i] += inputs[r][i]
+			}
+		}
+		outs, st, err := RingAllReduce(inputs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for r := range outs {
+			for i := range want {
+				if math.Abs(outs[r][i]-want[i]) > 1e-6 {
+					t.Fatalf("rank %d elem %d: got %v want %v", r, i, outs[r][i], want[i])
+				}
+			}
+		}
+		if n > 1 && st.Steps != 2*(n-1) {
+			t.Fatalf("steps = %d, want %d", st.Steps, 2*(n-1))
+		}
+	})
+}
+
+func FuzzCostModelNoPanics(f *testing.F) {
+	f.Add(4, int64(1<<20), 0)
+	f.Add(1, int64(0), 1)
+	f.Add(256, int64(1<<30), 2)
+	f.Fuzz(func(t *testing.T, n int, bytes int64, algo int) {
+		if n < 1 || n > 1<<16 || bytes < 0 || bytes > 1<<40 {
+			t.Skip()
+		}
+		a := Algorithm(((algo % 3) + 3) % 3)
+		m, err := NewCostModel(NetPath{
+			Bandwidth: 1e11, Latency: 2e-6, Protocols: DefaultProtocols(),
+		}, a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := m.AllReduce(n, units.Bytes(bytes))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d < 0 || math.IsNaN(float64(d)) {
+			t.Fatalf("negative/NaN all-reduce time %v", d)
+		}
+	})
+}

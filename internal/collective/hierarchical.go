@@ -1,0 +1,90 @@
+package collective
+
+import (
+	"fmt"
+
+	"twocs/internal/hw"
+	"twocs/internal/units"
+)
+
+// HierarchicalModel prices collectives that span nodes using the standard
+// three-phase decomposition real libraries use on multi-node systems:
+// intra-node reduce-scatter, inter-node all-reduce over one rank per node,
+// intra-node all-gather. Compared to a flat ring over the slow inter-node
+// links, the hierarchy moves only 1/devices-per-node of the data across
+// nodes — the structure large DP deployments rely on (§4.3.7 context).
+type HierarchicalModel struct {
+	intra *CostModel
+	inter *CostModel
+	// perNode is the rank count inside one node.
+	perNode int
+}
+
+// NewHierarchicalModel builds the model from a cluster description.
+func NewHierarchicalModel(c hw.Cluster, algo Algorithm) (*HierarchicalModel, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	if c.NumNodes < 2 {
+		return nil, fmt.Errorf("collective: hierarchical model needs >=2 nodes, got %d", c.NumNodes)
+	}
+	intraPath, err := PathForGroup(c, c.Node.Count)
+	if err != nil {
+		return nil, err
+	}
+	intra, err := NewCostModel(intraPath, algo)
+	if err != nil {
+		return nil, err
+	}
+	interPath := NetPath{
+		Bandwidth: c.InterNode.Bandwidth,
+		Latency:   c.InterNode.Latency,
+		Protocols: DefaultProtocols(),
+	}
+	inter, err := NewCostModel(interPath, algo)
+	if err != nil {
+		return nil, err
+	}
+	return &HierarchicalModel{intra: intra, inter: inter, perNode: c.Node.Count}, nil
+}
+
+// AllReduce prices a hierarchical all-reduce of `bytes` across
+// nodes×perNode ranks.
+func (h *HierarchicalModel) AllReduce(nodes int, bytes units.Bytes) (units.Seconds, error) {
+	if nodes < 1 {
+		return 0, fmt.Errorf("collective: node count %d < 1", nodes)
+	}
+	if bytes < 0 {
+		return 0, fmt.Errorf("collective: negative bytes %v", bytes)
+	}
+	if bytes == 0 {
+		return 0, nil
+	}
+	// Phase 1: intra-node reduce-scatter of the full buffer.
+	rs, err := h.intra.ReduceScatter(h.perNode, bytes)
+	if err != nil {
+		return 0, err
+	}
+	// Phase 2: inter-node all-reduce of each rank's 1/perNode shard.
+	shard := units.Bytes(float64(bytes) / float64(h.perNode))
+	ar, err := h.inter.AllReduce(nodes, shard)
+	if err != nil {
+		return 0, err
+	}
+	// Phase 3: intra-node all-gather of the reduced shards.
+	ag, err := h.intra.AllGather(h.perNode, bytes)
+	if err != nil {
+		return 0, err
+	}
+	return rs + ar + ag, nil
+}
+
+// FlatAllReduce prices the naive alternative: one ring over all
+// nodes×perNode ranks throttled by the inter-node links. The gap between
+// this and AllReduce is the ablation benchmark's subject.
+func (h *HierarchicalModel) FlatAllReduce(nodes int, bytes units.Bytes) (units.Seconds, error) {
+	if nodes < 1 {
+		return 0, fmt.Errorf("collective: node count %d < 1", nodes)
+	}
+	return h.inter.AllReduce(nodes*h.perNode, bytes)
+}

@@ -1,0 +1,171 @@
+package collective
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"twocs/internal/hw"
+	"twocs/internal/units"
+)
+
+func TestHierarchicalBeatsFlatAcrossNodes(t *testing.T) {
+	c := hw.MI210Cluster(8, 1.0/8)
+	h, err := NewHierarchicalModel(c, Ring)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bytes := units.Bytes(256 * units.MiB)
+	hier, err := h.AllReduce(8, bytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat, err := h.FlatAllReduce(8, bytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hier >= flat {
+		t.Errorf("hierarchical %v should beat flat %v on slow inter-node links", hier, flat)
+	}
+	// The win should be substantial: only 1/4 of the data crosses nodes.
+	if float64(flat)/float64(hier) < 1.5 {
+		t.Errorf("hierarchical advantage only %.2fx", float64(flat)/float64(hier))
+	}
+}
+
+func TestHierarchicalModelValidation(t *testing.T) {
+	if _, err := NewHierarchicalModel(hw.MI210Cluster(1, 0), Ring); err == nil {
+		t.Error("single-node cluster accepted")
+	}
+	if _, err := NewHierarchicalModel(hw.Cluster{}, Ring); err == nil {
+		t.Error("invalid cluster accepted")
+	}
+	h, err := NewHierarchicalModel(hw.MI210Cluster(4, 1.0/8), Ring)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.AllReduce(0, 100); err == nil {
+		t.Error("zero nodes accepted")
+	}
+	if _, err := h.AllReduce(4, -1); err == nil {
+		t.Error("negative bytes accepted")
+	}
+	if tt, err := h.AllReduce(4, 0); err != nil || tt != 0 {
+		t.Errorf("zero bytes: %v, %v", tt, err)
+	}
+}
+
+func TestRingReduceScatterCorrectness(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, n := range []int{1, 2, 3, 5, 8} {
+		for _, width := range []int{1, 8, 23} {
+			inputs := make([][]float64, n)
+			want := make([]float64, width)
+			for r := range inputs {
+				inputs[r] = make([]float64, width)
+				for i := range inputs[r] {
+					inputs[r][i] = float64(rng.Intn(20))
+					want[i] += inputs[r][i]
+				}
+			}
+			shards, st, err := RingReduceScatter(inputs)
+			if err != nil {
+				t.Fatalf("n=%d width=%d: %v", n, width, err)
+			}
+			if n > 1 && st.Steps != n-1 {
+				t.Errorf("n=%d: %d steps, want %d", n, st.Steps, n-1)
+			}
+			// Reassemble: rank r owns chunk (r+1) mod n.
+			got := make([]float64, width)
+			for r := 0; r < n; r++ {
+				ci := (r + 1) % n
+				lo, hi := chunkBounds(width, n, ci)
+				if hi-lo != len(shards[r]) {
+					t.Fatalf("rank %d shard length %d, want %d", r, len(shards[r]), hi-lo)
+				}
+				copy(got[lo:hi], shards[r])
+			}
+			for i := range want {
+				if math.Abs(got[i]-want[i]) > 1e-9 {
+					t.Fatalf("n=%d width=%d elem %d: got %v want %v", n, width, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestRingReduceScatterErrors(t *testing.T) {
+	if _, _, err := RingReduceScatter(nil); err == nil {
+		t.Error("no ranks accepted")
+	}
+	if _, _, err := RingReduceScatter([][]float64{{1}, {1, 2}}); err == nil {
+		t.Error("ragged inputs accepted")
+	}
+}
+
+func TestBroadcastFunctional(t *testing.T) {
+	data := []float64{1, 2, 3}
+	out, st, err := Broadcast(1, data, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := range out {
+		for i := range data {
+			if out[r][i] != data[i] {
+				t.Errorf("rank %d elem %d = %v", r, i, out[r][i])
+			}
+		}
+	}
+	if st.Steps != 3 {
+		t.Errorf("steps = %d, want 3", st.Steps)
+	}
+	if _, _, err := Broadcast(5, data, 4); err == nil {
+		t.Error("out-of-range root accepted")
+	}
+	if _, _, err := Broadcast(0, data, 0); err == nil {
+		t.Error("zero ranks accepted")
+	}
+}
+
+func TestHierarchicalAllReduceMatchesFlat(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, tc := range []struct{ n, perGroup, width int }{
+		{4, 2, 16}, {8, 4, 10}, {6, 3, 7}, {4, 4, 9},
+	} {
+		inputs := make([][]float64, tc.n)
+		for r := range inputs {
+			inputs[r] = make([]float64, tc.width)
+			for i := range inputs[r] {
+				inputs[r][i] = float64(rng.Intn(50))
+			}
+		}
+		hier, err := HierarchicalAllReduce(inputs, tc.perGroup)
+		if err != nil {
+			t.Fatalf("%+v: %v", tc, err)
+		}
+		flat, _, err := RingAllReduce(inputs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for r := range flat {
+			for i := range flat[r] {
+				if math.Abs(hier[r][i]-flat[r][i]) > 1e-9 {
+					t.Fatalf("%+v rank %d elem %d: hier %v flat %v",
+						tc, r, i, hier[r][i], flat[r][i])
+				}
+			}
+		}
+	}
+}
+
+func TestHierarchicalAllReduceValidation(t *testing.T) {
+	if _, err := HierarchicalAllReduce(nil, 2); err == nil {
+		t.Error("no ranks accepted")
+	}
+	if _, err := HierarchicalAllReduce([][]float64{{1}, {2}, {3}}, 2); err == nil {
+		t.Error("indivisible grouping accepted")
+	}
+	if _, err := HierarchicalAllReduce([][]float64{{1}, {2, 3}}, 2); err == nil {
+		t.Error("ragged inputs accepted")
+	}
+}

@@ -1,0 +1,166 @@
+// Package core is the Comp-vs-Comm analyzer — the top-level API tying the
+// paper's three analysis axes together: the algorithmic complexity ratios
+// of Section 3, the empirical projections of Section 4 (built on the
+// profile and opmodel packages), and the hardware-evolution scenarios of
+// §4.3.6.
+package core
+
+import (
+	"fmt"
+
+	"twocs/internal/model"
+	"twocs/internal/stats"
+)
+
+// This file implements the algorithmic analysis (paper Section 3):
+// closed-form compute-vs-communication complexity ratios that are
+// hardware- and system-agnostic.
+
+// ComputeOps evaluates the paper's Equation 4: the per-layer GEMM work
+// O(H·SL·B/TP·(H+SL)), with the equations' exact constants — FC GEMMs
+// contribute 16·H²·SL·B/TP (FC dim 4H, two GEMMs, forward), attention
+// 4·H·SL²·B/TP (two GEMMs), linear projections 8·H²·SL·B/TP.
+func ComputeOps(c model.Config, tp int) (float64, error) {
+	if err := c.Validate(); err != nil {
+		return 0, err
+	}
+	if tp < 1 {
+		return 0, fmt.Errorf("core: tp degree must be >=1, got %d", tp)
+	}
+	h := float64(c.Hidden)
+	sl := float64(c.SeqLen)
+	b := float64(c.Batch)
+	t := float64(tp)
+	fc := 2 * 2 * h * float64(c.FCDim) / t * sl * b // Eq 1 (both FC GEMMs)
+	attn := 2 * 2 * h / t * sl * sl * b             // Eq 2 (QKᵀ and PV)
+	lin := 4 * 2 * h / t * h * sl * b               // Eq 3 (QKV + out proj)
+	return fc + attn + lin, nil
+}
+
+// CommBytes evaluates Equation 5: the bytes one serialized all-reduce
+// moves, (precision/8)·H·SL·B.
+func CommBytes(c model.Config) float64 {
+	return float64(c.ActivationBytes())
+}
+
+// AmdahlEdge evaluates Equation 6: compute's Amdahl's-law edge over
+// serialized communication, with complexity O((H+SL)/TP).
+func AmdahlEdge(c model.Config, tp int) (float64, error) {
+	ops, err := ComputeOps(c, tp)
+	if err != nil {
+		return 0, err
+	}
+	bytes := model.SerializedARCount * CommBytes(c)
+	if bytes == 0 {
+		return 0, fmt.Errorf("core: zero communication bytes for %s", c.Name)
+	}
+	return ops / bytes, nil
+}
+
+// EdgeComplexity is the asymptotic form of Equation 6, (H+SL)/TP — the
+// quantity the paper tracks across model generations (Fig 7).
+// The closed-form ratio is purely arithmetic, so it does not require tp
+// to divide the head count the way an actual sharding would.
+func EdgeComplexity(c model.Config, tp int) (float64, error) {
+	if err := c.Validate(); err != nil {
+		return 0, err
+	}
+	if tp < 1 {
+		return 0, fmt.Errorf("core: tp degree must be >=1, got %d", tp)
+	}
+	return (float64(c.Hidden) + float64(c.SeqLen)) / float64(tp), nil
+}
+
+// SlackAdvantage evaluates Equation 9: compute's slack to hide the
+// overlapped weight-gradient all-reduce, with complexity O(SL·B).
+func SlackAdvantage(c model.Config) float64 {
+	return float64(c.SeqLen) * float64(c.Batch)
+}
+
+// AlgRow is one model's algorithmic-scaling row (Fig 7): its edge and
+// slack, normalized to the first model in the series (BERT).
+type AlgRow struct {
+	Model string
+	Year  int
+	// Edge and Slack are raw complexity values; NormEdge and NormSlack
+	// are normalized to the first row.
+	Edge, Slack         float64
+	NormEdge, NormSlack float64
+}
+
+// AlgorithmicScaling computes the Figure 7 series over a model sequence.
+func AlgorithmicScaling(entries []model.ZooEntry) ([]AlgRow, error) {
+	if len(entries) == 0 {
+		return nil, fmt.Errorf("core: no models")
+	}
+	rows := make([]AlgRow, len(entries))
+	edges := make([]float64, len(entries))
+	slacks := make([]float64, len(entries))
+	for i, e := range entries {
+		edge, err := EdgeComplexity(e.Config, e.TP)
+		if err != nil {
+			return nil, err
+		}
+		edges[i] = edge
+		slacks[i] = SlackAdvantage(e.Config)
+		rows[i] = AlgRow{Model: e.Config.Name, Year: e.Year, Edge: edge, Slack: slacks[i]}
+	}
+	ne, err := stats.Normalize(edges, 0)
+	if err != nil {
+		return nil, err
+	}
+	ns, err := stats.Normalize(slacks, 0)
+	if err != nil {
+		return nil, err
+	}
+	for i := range rows {
+		rows[i].NormEdge = ne[i]
+		rows[i].NormSlack = ns[i]
+	}
+	return rows, nil
+}
+
+// MemoryTrendRow is one Figure 6 sample: a model's H·SL memory-demand
+// proxy against the device-capacity trend of its year, both normalized to
+// the first row.
+type MemoryTrendRow struct {
+	Model        string
+	Year         int
+	DemandProxy  float64
+	NormDemand   float64
+	NormCapacity float64
+}
+
+// MemoryTrend computes the Figure 6 series: model demand (H·SL) grows
+// multiplicatively while device capacity grows linearly, so the
+// normalized gap widens with every generation.
+func MemoryTrend(entries []model.ZooEntry, capacityAt func(year int) (float64, error)) ([]MemoryTrendRow, error) {
+	if len(entries) == 0 {
+		return nil, fmt.Errorf("core: no models")
+	}
+	rows := make([]MemoryTrendRow, len(entries))
+	demands := make([]float64, len(entries))
+	caps := make([]float64, len(entries))
+	for i, e := range entries {
+		demands[i] = e.Config.MemoryProxy()
+		c, err := capacityAt(e.Year)
+		if err != nil {
+			return nil, err
+		}
+		caps[i] = c
+		rows[i] = MemoryTrendRow{Model: e.Config.Name, Year: e.Year, DemandProxy: demands[i]}
+	}
+	nd, err := stats.Normalize(demands, 0)
+	if err != nil {
+		return nil, err
+	}
+	nc, err := stats.Normalize(caps, 0)
+	if err != nil {
+		return nil, err
+	}
+	for i := range rows {
+		rows[i].NormDemand = nd[i]
+		rows[i].NormCapacity = nc[i]
+	}
+	return rows, nil
+}

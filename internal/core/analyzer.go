@@ -1,0 +1,166 @@
+package core
+
+import (
+	"twocs/internal/collective"
+	"twocs/internal/dist"
+	"twocs/internal/hw"
+	"twocs/internal/kernels"
+	"twocs/internal/model"
+	"twocs/internal/opmodel"
+	"twocs/internal/profile"
+	"twocs/internal/units"
+)
+
+// Analyzer bundles the empirical machinery (paper Section 4): a
+// ground-truth hardware substrate, one profiled baseline, and the
+// operator-level model calibrated from it. Every projection an Analyzer
+// produces costs only the baseline profile — that asymmetry is the
+// paper's 2100× profiling saving, accounted in StrategyLedger.
+type Analyzer struct {
+	Cluster hw.Cluster
+	BaseCfg model.Config
+	BaseTP  int
+
+	// OpModel is the calibrated operator-level model.
+	OpModel *opmodel.Model
+	// Baseline is the profile OpModel was calibrated from.
+	Baseline *profile.Profile
+	// StrategyLedger accumulates the accelerator time this analyzer has
+	// actually spent (baseline profile + any ROIs).
+	StrategyLedger *profile.Ledger
+}
+
+// NewAnalyzer profiles the baseline configuration at baseTP on the
+// cluster's devices and calibrates the operator-level model. This is the
+// paper's step "profile training iterations of BERT as a baseline"
+// (§4.3.3): the one expensive measurement everything else scales from.
+func NewAnalyzer(cluster hw.Cluster, baseCfg model.Config, baseTP int) (*Analyzer, error) {
+	timer, err := timerOn(cluster, baseCfg, baseTP, hw.Identity())
+	if err != nil {
+		return nil, err
+	}
+	prof, err := profile.Iteration(baseCfg, baseTP, timer)
+	if err != nil {
+		return nil, err
+	}
+	// Collective calibration sweep (paper Fig 15c): measure the
+	// all-reduce at a handful of sizes on the baseline group and fit
+	// time-vs-bytes affinely.
+	var arRefs []opmodel.ARReference
+	var arCost units.Seconds
+	for _, sz := range []units.Bytes{
+		units.Bytes(1 * units.MiB), units.Bytes(4 * units.MiB),
+		units.Bytes(16 * units.MiB), units.Bytes(64 * units.MiB),
+		units.Bytes(256 * units.MiB),
+	} {
+		d, err := timer.Time(model.OpDesc{Kind: model.TPAllReduce, Bytes: sz, DT: baseCfg.DT})
+		if err != nil {
+			return nil, err
+		}
+		arRefs = append(arRefs, opmodel.ARReference{Bytes: sz, Group: baseTP, Time: d})
+		arCost += d
+	}
+	m, err := opmodel.Calibrate(prof, opmodel.WithARSweep(arRefs))
+	if err != nil {
+		return nil, err
+	}
+	ledger := profile.NewLedger()
+	if err := ledger.Add("baseline-profile:"+baseCfg.Name, prof.Cost); err != nil {
+		return nil, err
+	}
+	if err := ledger.Add("allreduce-sweep", arCost); err != nil {
+		return nil, err
+	}
+	return &Analyzer{
+		Cluster:        cluster,
+		BaseCfg:        baseCfg,
+		BaseTP:         baseTP,
+		OpModel:        m,
+		Baseline:       prof,
+		StrategyLedger: ledger,
+	}, nil
+}
+
+// timerOn builds a ground-truth dist.Timer for one configuration on an
+// (optionally evolved) cluster. The TP collective path is the intra-node
+// ring — the optimistic assumption the paper makes throughout its
+// projections (§4.3.2: communication estimated with intra-node links).
+func timerOn(cluster hw.Cluster, cfg model.Config, tp int, evo hw.Evolution) (*dist.Timer, error) {
+	if err := evo.Validate(); err != nil {
+		return nil, err
+	}
+	ec := evo.ApplyCluster(cluster)
+	calc, err := kernels.NewCalculator(ec.Node.Device)
+	if err != nil {
+		return nil, err
+	}
+	intra, err := collective.PathForGroup(ec, ec.Node.Count)
+	if err != nil {
+		return nil, err
+	}
+	tpModel, err := collective.NewCostModel(intra, collective.Ring)
+	if err != nil {
+		return nil, err
+	}
+	dpModel, err := collective.NewCostModel(intra, collective.Ring)
+	if err != nil {
+		return nil, err
+	}
+	if err := cfg.ValidateTP(tp); err != nil {
+		return nil, err
+	}
+	return &dist.Timer{
+		Calc: calc, TPModel: tpModel, DPModel: dpModel,
+		TP: tp, DP: ec.Node.Count,
+	}, nil
+}
+
+// GroundTruthTimer exposes the substrate timer for validation harnesses
+// (Figure 15 compares OpModel projections against it).
+func (a *Analyzer) GroundTruthTimer(cfg model.Config, tp int, evo hw.Evolution) (*dist.Timer, error) {
+	return timerOn(a.Cluster, cfg, tp, evo)
+}
+
+// SerializedFraction projects the serialized-communication fraction of a
+// full training iteration for one configuration under one hardware
+// scenario (the Figure 10/12 metric), using only the calibrated operator
+// model — no further profiling cost.
+func (a *Analyzer) SerializedFraction(cfg model.Config, tp int, evo hw.Evolution) (opmodel.IterationProjection, error) {
+	return a.OpModel.ProjectIteration(cfg, tp, evo)
+}
+
+// OverlappedPercent measures the Figure 11/13 metric for one
+// configuration: overlapped (DP) communication as a percentage of the
+// backprop compute available to hide it. It executes the ROI on the
+// (evolved) substrate — the paper likewise measures ROIs directly rather
+// than projecting them — and charges the cost to StrategyLedger.
+func (a *Analyzer) OverlappedPercent(cfg model.Config, tp int, evo hw.Evolution) (float64, error) {
+	timer, err := timerOn(a.Cluster, cfg, tp, evo)
+	if err != nil {
+		return 0, err
+	}
+	roi, err := profile.OverlappedROI(cfg, tp, timer)
+	if err != nil {
+		return 0, err
+	}
+	if err := a.StrategyLedger.Add("roi:"+cfg.Name, roi.Cost); err != nil {
+		return 0, err
+	}
+	return roi.OverlapPercent(), nil
+}
+
+// ExhaustiveIterationCost returns the accelerator time an end-to-end
+// profiling run of one configuration would cost: the full simulated
+// iteration makespan. Used by the §4.3.8 cost comparison; it does not
+// execute anything beyond pricing the schedule.
+func (a *Analyzer) ExhaustiveIterationCost(cfg model.Config, tp int) (units.Seconds, error) {
+	timer, err := timerOn(a.Cluster, cfg, tp, hw.Identity())
+	if err != nil {
+		return 0, err
+	}
+	prof, err := profile.Iteration(cfg, tp, timer)
+	if err != nil {
+		return 0, err
+	}
+	return prof.Cost, nil
+}

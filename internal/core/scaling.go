@@ -1,0 +1,92 @@
+package core
+
+import (
+	"fmt"
+
+	"twocs/internal/collective"
+	"twocs/internal/dist"
+	"twocs/internal/hw"
+	"twocs/internal/kernels"
+	"twocs/internal/model"
+	"twocs/internal/units"
+)
+
+// ScalingRow is one way of splitting a fixed device budget between
+// tensor and data parallelism.
+type ScalingRow struct {
+	TP, DP   int
+	Makespan units.Seconds
+	// TokensPerSec is global training throughput: DP·B·SL tokens per
+	// iteration over the simulated iteration time.
+	TokensPerSec float64
+	// CommFraction is the exposed-communication share of the iteration.
+	CommFraction float64
+}
+
+// ScalingStudy simulates full iterations for every way of factoring
+// `devices` into TP×DP (TP from tps that divide the budget and the
+// model), quantifying the throughput cost of tensor parallelism: every
+// doubling of TP trades data-parallel throughput for serialized
+// communication — the system-level consequence of the paper's edge
+// erosion (§2.4: communication "limits throughput scaling with
+// increasing device count").
+func (a *Analyzer) ScalingStudy(cfg model.Config, devices int, tps []int, evo hw.Evolution) ([]ScalingRow, error) {
+	if devices < 2 {
+		return nil, fmt.Errorf("core: scaling study needs >=2 devices, got %d", devices)
+	}
+	if len(tps) == 0 {
+		return nil, fmt.Errorf("core: no TP degrees to study")
+	}
+	ec := evo.ApplyCluster(a.Cluster)
+	calc, err := kernels.NewCalculator(ec.Node.Device)
+	if err != nil {
+		return nil, err
+	}
+	intra, err := collective.PathForGroup(ec, ec.Node.Count)
+	if err != nil {
+		return nil, err
+	}
+	var out []ScalingRow
+	for _, tp := range tps {
+		if devices%tp != 0 {
+			continue
+		}
+		dp := devices / tp
+		if dp < 2 || cfg.ValidateTP(tp) != nil {
+			continue
+		}
+		tpModel, err := collective.NewCostModel(intra, collective.Ring)
+		if err != nil {
+			return nil, err
+		}
+		dpModel, err := collective.NewCostModel(intra, collective.Ring)
+		if err != nil {
+			return nil, err
+		}
+		timer := &dist.Timer{Calc: calc, TPModel: tpModel, DPModel: dpModel, TP: tp, DP: dp}
+		planCluster := ec
+		planCluster.NumNodes = (devices + ec.Node.Count - 1) / ec.Node.Count
+		if planCluster.NumNodes > 1 && !planCluster.InterNode.Valid() {
+			planCluster.InterNode = hw.Link{
+				Bandwidth: units.ByteRate(float64(intra.Bandwidth) / 8),
+				Latency:   5 * units.Microsecond,
+			}
+		}
+		plan := dist.Plan{Model: cfg, TP: tp, DP: dp, Cluster: planCluster, Algo: collective.Ring}
+		rep, _, err := dist.RunIteration(plan, timer, dist.ScheduleOptions{})
+		if err != nil {
+			return nil, err
+		}
+		tokens := float64(dp) * float64(cfg.Batch) * float64(cfg.SeqLen)
+		out = append(out, ScalingRow{
+			TP: tp, DP: dp,
+			Makespan:     rep.Makespan,
+			TokensPerSec: tokens / float64(rep.Makespan),
+			CommFraction: rep.TotalCommFraction(),
+		})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("core: no feasible TP×DP split of %d devices", devices)
+	}
+	return out, nil
+}

@@ -1,0 +1,247 @@
+package core
+
+import (
+	"fmt"
+
+	"twocs/internal/collective"
+	"twocs/internal/hw"
+	"twocs/internal/model"
+	"twocs/internal/tensor"
+	"twocs/internal/units"
+)
+
+// This file holds the quantitative what-if studies behind the paper's
+// discussion sections: number formats (§6.2), the communication-
+// acceleration techniques of Section 5, and ZeRO-style sharded data
+// parallelism (§2.3/§6.1.3).
+
+// MeasuredLayerSplit times one layer's iteration directly on the
+// (evolved) ground-truth substrate and returns the compute vs serialized
+// communication split. Unlike the operator-model projections this prices
+// every operator exactly, so it is the right tool for what-if studies
+// that change execution properties (precision, collective algorithm).
+func (a *Analyzer) MeasuredLayerSplit(cfg model.Config, tp int, evo hw.Evolution) (compute, serialized units.Seconds, err error) {
+	timer, err := timerOn(a.Cluster, cfg, tp, evo)
+	if err != nil {
+		return 0, 0, err
+	}
+	ops, err := model.LayerOps(cfg, tp)
+	if err != nil {
+		return 0, 0, err
+	}
+	for _, op := range ops {
+		d, err := timer.Time(op)
+		if err != nil {
+			return 0, 0, err
+		}
+		if op.Kind == model.TPAllReduce {
+			serialized += d
+		} else {
+			compute += d
+		}
+	}
+	return compute, serialized, nil
+}
+
+// PrecisionRow is one §6.2 sample.
+type PrecisionRow struct {
+	DT             tensor.DType
+	Compute        units.Seconds
+	SerializedComm units.Seconds
+	CommFraction   float64
+}
+
+// PrecisionStudy evaluates the §6.2 observation: dropping precision
+// scales peak compute super-linearly (FP16 is 4× FP32 on the MI210) while
+// communication bytes shrink only linearly — so reduced precision makes
+// the communication share larger, not smaller.
+func (a *Analyzer) PrecisionStudy(cfg model.Config, tp int, evo hw.Evolution, formats []tensor.DType) ([]PrecisionRow, error) {
+	if len(formats) == 0 {
+		return nil, fmt.Errorf("core: no formats to study")
+	}
+	out := make([]PrecisionRow, 0, len(formats))
+	for _, dt := range formats {
+		c := cfg
+		c.DT = dt
+		comp, comm, err := a.MeasuredLayerSplit(c, tp, evo)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, PrecisionRow{
+			DT:             dt,
+			Compute:        comp,
+			SerializedComm: comm,
+			CommFraction:   units.Ratio(float64(comm), float64(comp+comm)),
+		})
+	}
+	return out, nil
+}
+
+// TechniqueRow is one Section 5 mitigation evaluated against the
+// baseline.
+type TechniqueRow struct {
+	Name           string
+	SerializedComm units.Seconds
+	Compute        units.Seconds
+	CommFraction   float64
+	// SpeedupVsBaseline is baseline iteration time over this
+	// technique's iteration time.
+	SpeedupVsBaseline float64
+}
+
+// OverlapCoverage is the fraction of serialized communication that
+// fine-grained computation/communication fusion (§5 Technique 3) manages
+// to hide; published systems report hiding most but not all of it.
+const OverlapCoverage = 0.7
+
+// TechniqueStudy quantifies the Section 5 mitigations on one
+// configuration: processing-in-network switches (halved wire traffic),
+// fine-grained compute/communication overlap, and both combined.
+func (a *Analyzer) TechniqueStudy(cfg model.Config, tp int, evo hw.Evolution) ([]TechniqueRow, error) {
+	comp, comm, err := a.MeasuredLayerSplit(cfg, tp, evo)
+	if err != nil {
+		return nil, err
+	}
+	if comp <= 0 || comm <= 0 {
+		return nil, fmt.Errorf("core: degenerate baseline split (%v, %v)", comp, comm)
+	}
+
+	// PIN: re-price the serialized all-reduces with the in-network
+	// algorithm on the same path.
+	ec := evo.ApplyCluster(a.Cluster)
+	path, err := collective.PathForGroup(ec, ec.Node.Count)
+	if err != nil {
+		return nil, err
+	}
+	pinModel, err := collective.NewCostModel(path, collective.InNetwork)
+	if err != nil {
+		return nil, err
+	}
+	pinAR, err := pinModel.AllReduce(tp, cfg.ActivationBytes())
+	if err != nil {
+		return nil, err
+	}
+	pinComm := units.Seconds(float64(pinAR) * model.SerializedARCount / evo.NetScale)
+
+	baselineTotal := float64(comp + comm)
+	row := func(name string, c, m units.Seconds) TechniqueRow {
+		return TechniqueRow{
+			Name:              name,
+			Compute:           c,
+			SerializedComm:    m,
+			CommFraction:      units.Ratio(float64(m), float64(c+m)),
+			SpeedupVsBaseline: baselineTotal / float64(c+m),
+		}
+	}
+	overlapComm := units.Seconds(float64(comm) * (1 - OverlapCoverage))
+	pinOverlapComm := units.Seconds(float64(pinComm) * (1 - OverlapCoverage))
+	return []TechniqueRow{
+		row("baseline (ring, serialized)", comp, comm),
+		row("in-network reduction (PIN)", comp, pinComm),
+		row("fine-grained overlap", comp, overlapComm),
+		row("PIN + overlap", comp, pinOverlapComm),
+	}, nil
+}
+
+// ZeRORow compares gradient-all-reduce data parallelism against
+// ZeRO-3-style sharded data parallelism for one configuration.
+type ZeRORow struct {
+	Name string
+	// CriticalComm is communication on the critical path per layer
+	// iteration; OverlappableComm can hide under compute.
+	CriticalComm     units.Seconds
+	OverlappableComm units.Seconds
+	// PerDeviceStateBytes is the resident parameter-state footprint.
+	PerDeviceStateBytes units.Bytes
+}
+
+// ZeROStudy prices the §6.1.3 trade: ZeRO-3 shards parameters across the
+// DP group, shrinking per-device state by the DP degree but adding
+// parameter all-gathers on the critical path (forward and backward) in
+// exchange for turning the gradient all-reduce into a cheaper
+// reduce-scatter.
+func (a *Analyzer) ZeROStudy(cfg model.Config, tp, dp int, evo hw.Evolution) ([]ZeRORow, error) {
+	if dp < 2 {
+		return nil, fmt.Errorf("core: ZeRO study needs DP >= 2, got %d", dp)
+	}
+	ec := evo.ApplyCluster(a.Cluster)
+	path, err := collective.PathForGroup(ec, ec.Node.Count)
+	if err != nil {
+		return nil, err
+	}
+	cm, err := collective.NewCostModel(path, collective.Ring)
+	if err != nil {
+		return nil, err
+	}
+	gradBytes, err := model.DPGradientBytes(cfg, tp)
+	if err != nil {
+		return nil, err
+	}
+	mm := model.DefaultMemoryModel()
+
+	// Plain DP: one gradient all-reduce per layer, overlappable.
+	ar, err := cm.AllReduce(dp, gradBytes)
+	if err != nil {
+		return nil, err
+	}
+	plainState := cfg.LayerParams() / float64(tp) * mm.StateBytesPerParam * float64(cfg.Layers)
+
+	// ZeRO-3: all-gather the layer's weights before forward and again
+	// before backward (critical path unless prefetched), reduce-scatter
+	// gradients after backward (overlappable).
+	paramBytes := units.Bytes(cfg.LayerParams() / float64(tp) * float64(cfg.DT.Size()))
+	ag, err := cm.AllGather(dp, paramBytes)
+	if err != nil {
+		return nil, err
+	}
+	rs, err := cm.ReduceScatter(dp, gradBytes)
+	if err != nil {
+		return nil, err
+	}
+	zeroState := plainState / float64(dp)
+
+	scale := 1 / evo.NetScale
+	return []ZeRORow{
+		{
+			Name:                "data parallel (gradient all-reduce)",
+			CriticalComm:        0,
+			OverlappableComm:    units.Seconds(float64(ar) * scale),
+			PerDeviceStateBytes: units.Bytes(plainState),
+		},
+		{
+			Name:                "ZeRO-3 (sharded parameters)",
+			CriticalComm:        units.Seconds(2 * float64(ag) * scale),
+			OverlappableComm:    units.Seconds(float64(rs) * scale),
+			PerDeviceStateBytes: units.Bytes(zeroState),
+		},
+	}, nil
+}
+
+// RequiredNetScale answers Section 5's opening claim quantitatively:
+// given compute accelerating by flopScale, how much must network
+// bandwidth scale for serialized communication to stay at or below
+// targetFraction of the iteration? Solves
+// comm/net / (comm/net + comp/flop) <= t for net.
+func (a *Analyzer) RequiredNetScale(cfg model.Config, tp int, flopScale, targetFraction float64) (float64, error) {
+	if flopScale <= 0 {
+		return 0, fmt.Errorf("core: non-positive flop scale %v", flopScale)
+	}
+	if targetFraction <= 0 || targetFraction >= 1 {
+		return 0, fmt.Errorf("core: target fraction %v outside (0,1)", targetFraction)
+	}
+	comp, comm, err := a.MeasuredLayerSplit(cfg, tp, hw.Identity())
+	if err != nil {
+		return 0, err
+	}
+	if comm == 0 {
+		return 1, nil // nothing to keep up with
+	}
+	// fraction = (comm/n) / (comm/n + comp/f) <= t
+	// => n >= comm * f * (1-t) / (t * comp)
+	need := float64(comm) * flopScale * (1 - targetFraction) /
+		(targetFraction * float64(comp))
+	if need < 1 {
+		need = 1 // bandwidth never needs to regress
+	}
+	return need, nil
+}

@@ -1,0 +1,131 @@
+package core
+
+import (
+	"fmt"
+
+	"twocs/internal/hw"
+	"twocs/internal/model"
+	"twocs/internal/tensor"
+)
+
+// This file encodes the paper's Table 3 sweep space and runs the
+// Figure 10-13 grids over it.
+
+// Table3Hs returns the hidden-dimension sweep: 1K..64K.
+func Table3Hs() []int { return []int{1024, 2048, 4096, 8192, 16384, 32768, 65536} }
+
+// Table3SLs returns the sequence-length sweep: 1K..8K.
+func Table3SLs() []int { return []int{1024, 2048, 4096, 8192} }
+
+// Table3Bs returns the batch sweep: {1, 4}.
+func Table3Bs() []int { return []int{1, 4} }
+
+// Table3TPs returns the tensor-parallel-degree sweep: 4..256.
+func Table3TPs() []int { return []int{4, 8, 16, 32, 64, 128, 256} }
+
+// FutureConfig builds a future-Transformer configuration for sweep
+// points: proportional architecture (FC=4H, head dim 128) with a single
+// layer — the serialized-communication fraction is layer-count-invariant,
+// so per-layer analysis suffices for the sweep metrics.
+func FutureConfig(h, sl, b int) (model.Config, error) {
+	c := model.Config{
+		Name:   fmt.Sprintf("future-H%d-SL%d-B%d", h, sl, b),
+		Kind:   model.Decoder,
+		Layers: 1,
+		Hidden: h, FCDim: 4 * h, Heads: h / 64,
+		Vocab:  50_000,
+		SeqLen: sl, Batch: b,
+		DT: tensor.FP32,
+	}
+	if err := c.Validate(); err != nil {
+		return model.Config{}, err
+	}
+	return c, nil
+}
+
+// SerializedPoint is one Figure 10/12 grid sample.
+type SerializedPoint struct {
+	H, SL, B, TP int
+	FlopVsBW     float64
+	// Fraction is serialized communication over total iteration time.
+	Fraction float64
+}
+
+// SerializedSweep projects the serialized-communication fraction over the
+// (H × SL × TP) grid at fixed B under one hardware scenario — the paper's
+// 196-configuration projection from a single baseline (§4.2.4).
+func (a *Analyzer) SerializedSweep(hs, sls, tps []int, b int, evo hw.Evolution) ([]SerializedPoint, error) {
+	var out []SerializedPoint
+	for _, h := range hs {
+		for _, sl := range sls {
+			cfg, err := FutureConfig(h, sl, b)
+			if err != nil {
+				return nil, err
+			}
+			for _, tp := range tps {
+				if err := cfg.ValidateTP(tp); err != nil {
+					continue // grid point does not divide; skip as the paper's unrealistic configs are skipped
+				}
+				proj, err := a.SerializedFraction(cfg, tp, evo)
+				if err != nil {
+					return nil, err
+				}
+				out = append(out, SerializedPoint{
+					H: h, SL: sl, B: b, TP: tp,
+					FlopVsBW: evo.FlopVsBW(),
+					Fraction: proj.CommFraction(),
+				})
+			}
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("core: empty serialized sweep")
+	}
+	return out, nil
+}
+
+// OverlappedPoint is one Figure 11/13 grid sample.
+type OverlappedPoint struct {
+	H, SLB   int
+	FlopVsBW float64
+	// Percent is overlapped communication as a percentage of the
+	// backprop compute available to hide it (>=100 means exposed).
+	Percent float64
+}
+
+// OverlappedSweep measures ROI overlap percentages over an (H × SL·B)
+// grid at fixed TP under one hardware scenario. B is folded into SL·B by
+// holding B=1 and sweeping SL — the reduction the algorithmic analysis
+// licenses (slack = O(SL·B), §4.2.1).
+func (a *Analyzer) OverlappedSweep(hs, slbs []int, tp int, evo hw.Evolution) ([]OverlappedPoint, error) {
+	var out []OverlappedPoint
+	for _, h := range hs {
+		for _, slb := range slbs {
+			cfg, err := FutureConfig(h, slb, 1)
+			if err != nil {
+				return nil, err
+			}
+			if err := cfg.ValidateTP(tp); err != nil {
+				continue
+			}
+			pct, err := a.OverlappedPercent(cfg, tp, evo)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, OverlappedPoint{
+				H: h, SLB: slb, FlopVsBW: evo.FlopVsBW(), Percent: pct,
+			})
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("core: empty overlapped sweep")
+	}
+	return out, nil
+}
+
+// SweepConfigCount returns the number of distinct (H, SL, TP) projections
+// the Table 3 grid contains — the paper's "~196 different Transformer
+// models" the strategy avoids executing (7 H × 4 SL × 7 TP).
+func SweepConfigCount() int {
+	return len(Table3Hs()) * len(Table3SLs()) * len(Table3TPs())
+}

@@ -1,0 +1,76 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"twocs/internal/hw"
+	"twocs/internal/model"
+)
+
+// ZooTimelineRow is one published model's projected communication share
+// when trained at the tensor-parallel degree its era's memory forces.
+type ZooTimelineRow struct {
+	Model string
+	Year  int
+	// TP is the power-of-two degree used for the projection: the
+	// model's representative published degree.
+	TP int
+	// Fractions at 1x/2x/4x flop-vs-bw hardware.
+	Frac1x, Frac2x, Frac4x float64
+}
+
+// ZooTimeline projects the serialized-communication share of every zoo
+// model at its representative TP degree across the paper's hardware
+// scenarios — the "communication's share keeps growing" narrative
+// (Sections 1 and 8) as one table over real model history.
+//
+// Zoo head counts do not all divide their TP degrees (PaLM has 48 heads),
+// so each model is projected through its proportional stand-in from
+// FutureConfig, preserving H, SL, B and layer count.
+func (a *Analyzer) ZooTimeline(entries []model.ZooEntry) ([]ZooTimelineRow, error) {
+	if len(entries) == 0 {
+		return nil, fmt.Errorf("core: no models")
+	}
+	out := make([]ZooTimelineRow, 0, len(entries))
+	for _, e := range entries {
+		h := nearestPow2(e.Config.Hidden)
+		cfg, err := FutureConfig(h, e.Config.SeqLen, e.Batch)
+		if err != nil {
+			return nil, err
+		}
+		cfg.Name = e.Config.Name
+		cfg.Layers = e.Config.Layers
+		row := ZooTimelineRow{Model: e.Config.Name, Year: e.Year, TP: e.TP}
+		if e.TP < 2 {
+			out = append(out, row) // single device: no serialized comm
+			continue
+		}
+		for _, sc := range []struct {
+			ratio float64
+			dst   *float64
+		}{{1, &row.Frac1x}, {2, &row.Frac2x}, {4, &row.Frac4x}} {
+			evo := hw.Identity()
+			if sc.ratio > 1 {
+				evo = hw.FlopVsBWScenario(sc.ratio)
+			}
+			p, err := a.SerializedFraction(cfg, e.TP, evo)
+			if err != nil {
+				return nil, err
+			}
+			*sc.dst = p.CommFraction()
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// nearestPow2 rounds to the nearest power of two (ties go up), keeping
+// the proportional stand-in close to the published width.
+func nearestPow2(v int) int {
+	if v < 1 {
+		return 1
+	}
+	lg := math.Log2(float64(v))
+	return 1 << int(math.Round(lg))
+}

@@ -1,0 +1,147 @@
+package dist
+
+import (
+	"fmt"
+	"sort"
+
+	"twocs/internal/sim"
+	"twocs/internal/units"
+)
+
+// This file adds the 1F1B (one-forward-one-backward) pipeline schedule:
+// the production alternative to GPipe. After a warm-up of (P-s) forwards,
+// each stage alternates one backward with one forward, bounding in-flight
+// activations per stage by its pipeline depth remainder instead of by the
+// micro-batch count — the schedule that makes the §6.1.2 "large batches
+// for small bubbles" trade survivable in memory.
+
+// stageTimes prices one stage's forward and backward (shared with the
+// GPipe builder).
+func stageTimes(pp PipelinePlan, timer *Timer) (fwd, bwd, p2p units.Seconds, err error) {
+	ops, err := BuildPipelineSchedule(pp, timer)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	for _, o := range ops {
+		switch o.Label {
+		case LabelStageFwd:
+			fwd = o.Duration
+		case LabelStageBwd:
+			bwd = o.Duration
+		case LabelP2P:
+			p2p = o.Duration
+		}
+	}
+	return fwd, bwd, p2p, nil
+}
+
+// Build1F1BSchedule emits the simulator ops of one 1F1B iteration.
+// Stage s runs min(P-s, M) warm-up forwards, then strictly alternates
+// backward/forward until both streams drain.
+func Build1F1BSchedule(pp PipelinePlan, timer *Timer) ([]sim.Op, error) {
+	if err := pp.Validate(); err != nil {
+		return nil, err
+	}
+	if timer == nil {
+		return nil, fmt.Errorf("dist: nil timer")
+	}
+	stageFwd, stageBwd, p2p, err := stageTimes(pp, timer)
+	if err != nil {
+		return nil, err
+	}
+
+	var ops []sim.Op
+	emit := func(id string, dev int, stream sim.Stream, dur units.Seconds, label string, deps ...string) {
+		ops = append(ops, sim.Op{
+			ID: id, Device: dev, Stream: stream, Duration: dur,
+			Label: label, Deps: deps,
+		})
+	}
+	// Cross-stage transfer ops are created lazily, keyed by direction
+	// and micro-batch; each lives on the *sending* stage's comm stream.
+	fwdID := func(s, m int) string { return fmt.Sprintf("f.s%d.m%d", s, m) }
+	bwdID := func(s, m int) string { return fmt.Sprintf("b.s%d.m%d", s, m) }
+
+	P, M := pp.Stages, pp.MicroBatches
+	for s := 0; s < P; s++ {
+		warm := P - s
+		if warm > M {
+			warm = M
+		}
+		// Build this stage's compute order: warm-up forwards, then
+		// alternating b/f, then draining backwards.
+		type unit struct {
+			bwd bool
+			m   int
+		}
+		var order []unit
+		nextF, nextB := 0, 0
+		for ; nextF < warm; nextF++ {
+			order = append(order, unit{false, nextF})
+		}
+		for nextB < M {
+			order = append(order, unit{true, nextB})
+			nextB++
+			if nextF < M {
+				order = append(order, unit{false, nextF})
+				nextF++
+			}
+		}
+		for _, u := range order {
+			if u.bwd {
+				deps := []string{fwdID(s, u.m)}
+				if s < P-1 {
+					// Backward transfers ride the second comm channel
+					// so they cannot head-of-line-block the forward
+					// transfers interleaved with them under 1F1B.
+					send := fmt.Sprintf("p2p.b.s%d.m%d", s+1, u.m)
+					emit(send, s+1, sim.DPCommStream, p2p, LabelP2P, bwdID(s+1, u.m))
+					deps = append(deps, send)
+				}
+				emit(bwdID(s, u.m), s, sim.ComputeStream, stageBwd, LabelStageBwd, deps...)
+			} else {
+				var deps []string
+				if s > 0 {
+					send := fmt.Sprintf("p2p.f.s%d.m%d", s-1, u.m)
+					emit(send, s-1, sim.CommStream, p2p, LabelP2P, fwdID(s-1, u.m))
+					deps = append(deps, send)
+				}
+				emit(fwdID(s, u.m), s, sim.ComputeStream, stageFwd, LabelStageFwd, deps...)
+			}
+		}
+	}
+	return ops, nil
+}
+
+// MaxInFlight returns each stage's peak count of micro-batches whose
+// forward has run but whose backward has not — the retained-activation
+// bound. GPipe's is M everywhere; 1F1B's is min(P-s, M).
+func MaxInFlight(trace *sim.Trace, stages int) []int {
+	type ev struct {
+		t   units.Seconds
+		d   int // +1 forward completes, -1 backward completes
+		dev int
+	}
+	var evs []ev
+	for _, s := range trace.Spans {
+		switch s.Op.Label {
+		case LabelStageFwd:
+			evs = append(evs, ev{s.End, 1, s.Op.Device})
+		case LabelStageBwd:
+			evs = append(evs, ev{s.End, -1, s.Op.Device})
+		}
+	}
+	sort.Slice(evs, func(i, j int) bool { return evs[i].t < evs[j].t })
+	peak := make([]int, stages)
+	cur := make([]int, stages)
+	for _, e := range evs {
+		if e.dev >= stages {
+			continue
+		}
+		cur[e.dev] += e.d
+		if cur[e.dev] > peak[e.dev] {
+			peak[e.dev] = cur[e.dev]
+		}
+	}
+	return peak
+}

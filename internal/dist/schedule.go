@@ -1,0 +1,214 @@
+package dist
+
+import (
+	"fmt"
+
+	"twocs/internal/model"
+	"twocs/internal/sim"
+	"twocs/internal/units"
+)
+
+// ScheduleOptions tunes iteration-schedule construction.
+type ScheduleOptions struct {
+	// IncludeOptimizer appends the optimizer step after all gradients
+	// are reduced. The paper's per-layer analysis excludes it; the
+	// end-to-end case study can include it.
+	IncludeOptimizer bool
+	// InterferenceSlowdown is passed to the simulator: >1 models the
+	// §4.3.7 compute/communication interference effect.
+	InterferenceSlowdown float64
+	// DPBucketLayers aggregates the gradients of this many consecutive
+	// layers into one data-parallel all-reduce (frameworks call this
+	// bucketing). 0 or 1 reduces per layer. Larger buckets amortize
+	// per-collective latency but delay the first reduction.
+	DPBucketLayers int
+}
+
+// Labels used by schedule ops and consumed by the report breakdowns.
+const (
+	LabelCompute = "compute"
+	LabelTPComm  = "tp-allreduce"
+	LabelDPComm  = "dp-allreduce"
+)
+
+// BuildIteration builds the simulator schedule of one full training
+// iteration (all layers, forward and backward) as observed by one
+// representative device. Cross-device effects are already folded into
+// each collective's duration by the Timer, which is exactly the paper's
+// single-device-plus-models methodology (§4.3.3).
+func BuildIteration(p Plan, timer *Timer, opts ScheduleOptions) ([]sim.Op, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if timer == nil {
+		return nil, fmt.Errorf("dist: nil timer")
+	}
+
+	var ops []sim.Op
+	var prevBarrier string // last op the next compute op must wait for
+
+	emit := func(name string, stream sim.Stream, dur units.Seconds, label string, deps ...string) string {
+		op := sim.Op{
+			ID:       name,
+			Device:   0,
+			Stream:   stream,
+			Duration: dur,
+			Label:    label,
+		}
+		op.Deps = append(op.Deps, deps...)
+		ops = append(ops, op)
+		return name
+	}
+
+	// addLayerOps lowers one layer's operator list; serialized TP
+	// all-reduces gate subsequent compute via prevBarrier.
+	addLayerOps := func(layer int, descs []model.OpDesc) (lastOp string, err error) {
+		for _, d := range descs {
+			dur, err := timer.Time(d)
+			if err != nil {
+				return "", err
+			}
+			name := fmt.Sprintf("l%d.%s", layer, d.Name)
+			switch {
+			case d.Kind == model.TPAllReduce:
+				// Serialized: depends on everything before it (the
+				// in-order compute stream guarantees prior compute is
+				// ordered; we depend on the last compute op) and the
+				// next compute op depends on it.
+				deps := []string{}
+				if lastOp != "" {
+					deps = append(deps, lastOp)
+				} else if prevBarrier != "" {
+					deps = append(deps, prevBarrier)
+				}
+				id := emit(name, sim.CommStream, dur, LabelTPComm, deps...)
+				prevBarrier = id
+				lastOp = id
+			default:
+				deps := []string{}
+				if prevBarrier != "" {
+					deps = append(deps, prevBarrier)
+					prevBarrier = ""
+				}
+				id := emit(name, sim.ComputeStream, dur, LabelCompute, deps...)
+				lastOp = id
+			}
+		}
+		return lastOp, nil
+	}
+
+	// Forward: layers 0..L-1.
+	for l := 0; l < p.Model.Layers; l++ {
+		descs, err := model.LayerForwardOps(p.Model, p.TP)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := addLayerOps(l, descs); err != nil {
+			return nil, err
+		}
+	}
+
+	// Backward: layers L-1..0, each followed by an overlapped DP
+	// gradient all-reduce (if DP>1) that gates nothing downstream
+	// except the optimizer.
+	gradBytes, err := model.DPGradientBytes(p.Model, p.TP)
+	if err != nil {
+		return nil, err
+	}
+	bucket := opts.DPBucketLayers
+	if bucket < 1 {
+		bucket = 1
+	}
+	var dpOps []string
+	pending := 0 // layers whose gradients await reduction
+	for l := p.Model.Layers - 1; l >= 0; l-- {
+		descs, err := model.LayerBackwardOps(p.Model, p.TP)
+		if err != nil {
+			return nil, err
+		}
+		last, err := addLayerOps(l, descs)
+		if err != nil {
+			return nil, err
+		}
+		if p.DP == 1 {
+			continue
+		}
+		pending++
+		if pending < bucket && l > 0 {
+			continue // keep accumulating the bucket
+		}
+		dur, err := timer.Time(model.OpDesc{
+			Kind:  model.DPAllReduce,
+			Bytes: units.Bytes(float64(gradBytes) * float64(pending)),
+			DT:    p.Model.DT,
+		})
+		if err != nil {
+			return nil, err
+		}
+		id := emit(fmt.Sprintf("l%d.bwd.dp.allreduce", l), sim.DPCommStream,
+			dur, LabelDPComm, last)
+		dpOps = append(dpOps, id)
+		pending = 0
+	}
+
+	if opts.IncludeOptimizer {
+		dur, err := timer.Calc.OptimizerStep(
+			p.Model.Params()/float64(p.TP), p.Model.DT, 6)
+		if err != nil {
+			return nil, err
+		}
+		deps := dpOps
+		if len(deps) == 0 && len(ops) > 0 {
+			deps = []string{ops[len(ops)-1].ID}
+		}
+		emit("optimizer.step", sim.ComputeStream, dur, LabelCompute, deps...)
+	}
+	return ops, nil
+}
+
+// IterationReport summarizes one simulated iteration.
+type IterationReport struct {
+	Makespan units.Seconds
+	// ComputeTime, TPCommTime, DPCommTime are executed-duration sums by
+	// label.
+	ComputeTime units.Seconds
+	TPCommTime  units.Seconds
+	DPCommTime  units.Seconds
+	// ExposedTPComm and ExposedDPComm are the portions of each comm
+	// stream's busy time during which compute idled.
+	ExposedTPComm units.Seconds
+	ExposedDPComm units.Seconds
+}
+
+// SerializedCommFraction is exposed TP communication over the makespan —
+// the paper's Figure 10/12 metric.
+func (r IterationReport) SerializedCommFraction() float64 {
+	return units.Ratio(float64(r.ExposedTPComm), float64(r.Makespan))
+}
+
+// TotalCommFraction is all exposed communication over the makespan.
+func (r IterationReport) TotalCommFraction() float64 {
+	return units.Ratio(float64(r.ExposedTPComm+r.ExposedDPComm), float64(r.Makespan))
+}
+
+// RunIteration builds, simulates and summarizes one training iteration.
+func RunIteration(p Plan, timer *Timer, opts ScheduleOptions) (*IterationReport, *sim.Trace, error) {
+	ops, err := BuildIteration(p, timer, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	trace, err := sim.Run(ops, sim.Config{InterferenceSlowdown: opts.InterferenceSlowdown})
+	if err != nil {
+		return nil, nil, err
+	}
+	labels := trace.LabelTime()
+	rep := &IterationReport{
+		Makespan:      trace.Makespan,
+		ComputeTime:   labels[LabelCompute],
+		TPCommTime:    labels[LabelTPComm],
+		DPCommTime:    labels[LabelDPComm],
+		ExposedTPComm: trace.ExposedCommOn(0, sim.CommStream),
+		ExposedDPComm: trace.ExposedDPComm(0),
+	}
+	return rep, trace, nil
+}

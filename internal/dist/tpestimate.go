@@ -1,0 +1,50 @@
+package dist
+
+import (
+	"fmt"
+
+	"twocs/internal/hw"
+	"twocs/internal/model"
+)
+
+// TPEstimate is one row of the paper's Figure 9b: the tensor-parallel
+// scaling a model requires relative to the Megatron-LM BERT anchor.
+type TPEstimate struct {
+	Model string
+	Year  int
+	// SizeRatio is p, the model-size ratio to Megatron-LM BERT (3.9B).
+	SizeRatio float64
+	// CapacityScale is s, the projected device-memory growth between
+	// the anchor's year and the model's year.
+	CapacityScale float64
+	// TPScale is p/s; RequiredTP is base_TP(=8) · p/s.
+	TPScale    float64
+	RequiredTP float64
+}
+
+// EstimateRequiredTP applies the paper's §4.3.2 estimator to each entry:
+// required TP = base_TP · p / s, with base_TP = 8 (Megatron-LM BERT's
+// degree) and s taken from the hw package's linear capacity trend.
+func EstimateRequiredTP(entries []model.ZooEntry) ([]TPEstimate, error) {
+	base := model.MegatronLMBERT()
+	out := make([]TPEstimate, 0, len(entries))
+	for _, e := range entries {
+		s := hw.DeployedCapacityScale(base.Year, e.Year)
+		if s <= 0 {
+			return nil, fmt.Errorf("dist: non-positive capacity scale for %s", e.Config.Name)
+		}
+		ps, err := model.TPScaleEstimate(e, s)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, TPEstimate{
+			Model:         e.Config.Name,
+			Year:          e.Year,
+			SizeRatio:     ps * s,
+			CapacityScale: s,
+			TPScale:       ps,
+			RequiredTP:    float64(base.TP) * ps,
+		})
+	}
+	return out, nil
+}

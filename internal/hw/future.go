@@ -1,0 +1,83 @@
+package hw
+
+import (
+	"fmt"
+
+	"twocs/internal/units"
+)
+
+// FutureDevice synthesizes an accelerator N generations past a base
+// device by compounding per-generation scaling factors — the constructive
+// counterpart of Evolution, used to build named "202X-class" systems for
+// design-space studies.
+//
+// Defaults follow the paper's historical observation (§4.3.6): compute
+// scales 2-4× per generation while network bandwidth roughly doubles and
+// memory capacity grows far slower.
+type GenerationScaling struct {
+	Compute  float64
+	Network  float64
+	MemBW    float64
+	Capacity float64
+}
+
+// PaperGenerationScaling is the per-generation factor set implied by the
+// 2018→2020 datasheets the paper cites: ~5× compute, ~2× network, with
+// memory bandwidth tracking compute and capacity growing ~1.5×.
+func PaperGenerationScaling() GenerationScaling {
+	return GenerationScaling{Compute: 5, Network: 2, MemBW: 2.3, Capacity: 1.5}
+}
+
+// Validate rejects non-positive factors.
+func (g GenerationScaling) Validate() error {
+	if g.Compute <= 0 || g.Network <= 0 || g.MemBW <= 0 || g.Capacity <= 0 {
+		return fmt.Errorf("hw: non-positive generation scaling %+v", g)
+	}
+	return nil
+}
+
+// FutureDevice compounds `generations` steps of scaling onto base. Each
+// generation is assumed to take two years (the cadence of the paper's
+// datasheet comparison).
+func FutureDevice(base DeviceSpec, generations int, g GenerationScaling) (DeviceSpec, error) {
+	if err := base.Validate(); err != nil {
+		return DeviceSpec{}, err
+	}
+	if generations < 0 {
+		return DeviceSpec{}, fmt.Errorf("hw: negative generations %d", generations)
+	}
+	if err := g.Validate(); err != nil {
+		return DeviceSpec{}, err
+	}
+	evo := Identity()
+	evo.Name = fmt.Sprintf("gen+%d", generations)
+	for i := 0; i < generations; i++ {
+		evo.FlopScale *= g.Compute
+		evo.NetScale *= g.Network
+		evo.MemBWScale *= g.MemBW
+		evo.MemCapScale *= g.Capacity
+	}
+	out := evo.ApplyDevice(base)
+	out.Year = base.Year + 2*generations
+	return out, nil
+}
+
+// FutureNode scales a whole node (devices plus interconnect) forward.
+func FutureNode(base Node, generations int, g GenerationScaling) (Node, error) {
+	if err := base.Validate(); err != nil {
+		return Node{}, err
+	}
+	dev, err := FutureDevice(base.Device, generations, g)
+	if err != nil {
+		return Node{}, err
+	}
+	netScale := 1.0
+	for i := 0; i < generations; i++ {
+		netScale *= g.Network
+	}
+	out := base
+	out.Device = dev
+	out.Link.Bandwidth = units.ByteRate(float64(base.Link.Bandwidth) * netScale)
+	out.RingBandwidth = units.ByteRate(float64(base.RingBandwidth) * netScale)
+	return out, nil
+}

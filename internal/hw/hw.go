@@ -1,0 +1,157 @@
+// Package hw describes the hardware the analysis runs against: accelerator
+// device specifications, intra-/inter-node interconnect links, node and
+// cluster topologies, and the hardware-evolution generator that rescales
+// compute throughput relative to network bandwidth (the paper's
+// "flop-vs-bw" axis, §4.3.6).
+//
+// The catalog entries are modelled on public datasheets of the devices the
+// paper cites (MI50, MI100, MI210, V100, A100). Absolute figures matter
+// only in that their *ratios* — FLOPS : network bandwidth : memory
+// bandwidth — are realistic; every conclusion the repository reproduces is
+// about relative scaling.
+package hw
+
+import (
+	"fmt"
+
+	"twocs/internal/tensor"
+	"twocs/internal/units"
+)
+
+// DeviceSpec is one accelerator.
+type DeviceSpec struct {
+	Name string
+	Year int
+
+	// Peak holds peak dense-math throughput per number format. Formats
+	// absent from the map fall back to FP32 (see PeakFor).
+	Peak map[tensor.DType]units.FLOPSRate
+
+	// MemBandwidth is peak HBM bandwidth; MemCapacity is HBM size.
+	MemBandwidth units.ByteRate
+	MemCapacity  units.Bytes
+
+	// KernelLaunch is the fixed host-side cost to launch one kernel. It
+	// is the size-independent term the operator model's affine fits
+	// absorb into their intercepts.
+	KernelLaunch units.Seconds
+}
+
+// PeakFor returns peak throughput for format dt, falling back to FP32 when
+// the format is not listed (e.g. FP8 on pre-FP8 hardware).
+func (d DeviceSpec) PeakFor(dt tensor.DType) units.FLOPSRate {
+	if r, ok := d.Peak[dt]; ok {
+		return r
+	}
+	return d.Peak[tensor.FP32]
+}
+
+// Validate reports configuration errors that would otherwise surface as
+// Inf/NaN deep inside projections.
+func (d DeviceSpec) Validate() error {
+	if d.Name == "" {
+		return fmt.Errorf("hw: device has no name")
+	}
+	if len(d.Peak) == 0 || d.Peak[tensor.FP32] <= 0 {
+		return fmt.Errorf("hw: device %s missing positive FP32 peak", d.Name)
+	}
+	if d.MemBandwidth <= 0 || d.MemCapacity <= 0 {
+		return fmt.Errorf("hw: device %s has non-positive memory spec", d.Name)
+	}
+	return nil
+}
+
+// Link is one interconnect hop.
+type Link struct {
+	// Bandwidth is the per-direction bandwidth of the link.
+	Bandwidth units.ByteRate
+	// Latency is the fixed per-message, per-hop cost.
+	Latency units.Seconds
+}
+
+// Valid reports whether the link can carry traffic.
+func (l Link) Valid() bool { return l.Bandwidth > 0 && l.Latency >= 0 }
+
+// Node is a set of identical devices joined by a uniform all-to-all link
+// fabric (the paper's 4×MI210 Infinity-Fabric node, Fig 9a).
+type Node struct {
+	Device DeviceSpec
+	Count  int
+	Link   Link
+
+	// RingBandwidth is the achievable ring-all-reduce bus bandwidth of
+	// the node. Fully-connected fabrics form multiple rings, so this
+	// exceeds a single link's bandwidth (150 GB/s vs 100 GB/s on the
+	// paper's testbed). Zero means "use Link.Bandwidth".
+	RingBandwidth units.ByteRate
+}
+
+// EffectiveRingBW returns the node's ring all-reduce bus bandwidth.
+func (n Node) EffectiveRingBW() units.ByteRate {
+	if n.RingBandwidth > 0 {
+		return n.RingBandwidth
+	}
+	return n.Link.Bandwidth
+}
+
+// Validate reports structural errors in the node description.
+func (n Node) Validate() error {
+	if err := n.Device.Validate(); err != nil {
+		return err
+	}
+	if n.Count < 1 {
+		return fmt.Errorf("hw: node needs >=1 device, got %d", n.Count)
+	}
+	if n.Count > 1 && !n.Link.Valid() {
+		return fmt.Errorf("hw: multi-device node needs a valid link")
+	}
+	return nil
+}
+
+// Cluster is a collection of identical nodes joined by slower inter-node
+// links. Collectives that span nodes are bottlenecked by InterNode
+// bandwidth (paper §4.3.7 discusses the ~8× penalty).
+type Cluster struct {
+	Node     Node
+	NumNodes int
+	// InterNode is the per-direction node-to-node link. For a
+	// single-node cluster it may be zero.
+	InterNode Link
+}
+
+// TotalDevices returns the device count across all nodes.
+func (c Cluster) TotalDevices() int { return c.Node.Count * c.NumNodes }
+
+// Validate reports structural errors in the cluster description.
+func (c Cluster) Validate() error {
+	if err := c.Node.Validate(); err != nil {
+		return err
+	}
+	if c.NumNodes < 1 {
+		return fmt.Errorf("hw: cluster needs >=1 node, got %d", c.NumNodes)
+	}
+	if c.NumNodes > 1 && !c.InterNode.Valid() {
+		return fmt.Errorf("hw: multi-node cluster needs a valid inter-node link")
+	}
+	return nil
+}
+
+// GroupBandwidth returns the bottleneck ring bandwidth for a collective
+// spanning `devices` ranks placed densely across nodes: intra-node ring
+// bandwidth while the group fits in one node, otherwise the inter-node
+// link (every ring that crosses node boundaries is throttled by it).
+func (c Cluster) GroupBandwidth(devices int) units.ByteRate {
+	if devices <= c.Node.Count {
+		return c.Node.EffectiveRingBW()
+	}
+	return c.InterNode.Bandwidth
+}
+
+// GroupLatency returns the per-hop latency for a collective spanning
+// `devices` ranks, by the same placement rule as GroupBandwidth.
+func (c Cluster) GroupLatency(devices int) units.Seconds {
+	if devices <= c.Node.Count {
+		return c.Node.Link.Latency
+	}
+	return c.InterNode.Latency
+}

@@ -1,0 +1,31 @@
+package hw
+
+// SaturationRamp models the utilization ramp every shared hardware
+// resource exhibits: small transfers do not fill a network pipe, small
+// kernels do not fill memory bandwidth. Efficiency follows x/(x+Half),
+// reaching 50% at x=Half and saturating toward 1.
+//
+// This single non-ideality is load-bearing for two paper results: the
+// sub-linear growth of all-reduce cost at small message sizes that
+// inflates the overlapped-communication percentages at small H (Fig 11,
+// §4.3.5), and part of the operator-model projection error (Fig 15).
+type SaturationRamp struct {
+	// Half is the input magnitude at which efficiency reaches 0.5.
+	// A non-positive Half disables the ramp (efficiency 1 everywhere),
+	// which the ablation benchmarks use.
+	Half float64
+}
+
+// Eval returns the efficiency in (0,1] for input magnitude x.
+func (r SaturationRamp) Eval(x float64) float64 {
+	if r.Half <= 0 {
+		return 1
+	}
+	if x <= 0 {
+		return 0
+	}
+	return x / (x + r.Half)
+}
+
+// Disabled reports whether the ramp is a no-op.
+func (r SaturationRamp) Disabled() bool { return r.Half <= 0 }

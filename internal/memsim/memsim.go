@@ -1,0 +1,182 @@
+// Package memsim simulates the per-device memory timeline of one
+// training iteration: parameter/optimizer state as a resident floor, and
+// activation allocations that appear during the forward pass and drain as
+// the backward pass consumes them. It is the mechanistic substrate behind
+// the paper's Figure 6 story — *why* growing models force small batches
+// and large TP degrees — and validates the closed-form footprint model in
+// internal/model against an actual allocation schedule.
+package memsim
+
+import (
+	"fmt"
+
+	"twocs/internal/model"
+	"twocs/internal/units"
+)
+
+// Point is one step of the memory timeline.
+type Point struct {
+	// Step indexes the operator sequence (forward then backward).
+	Step int
+	// Op names the operator executed at this step.
+	Op string
+	// Bytes is the resident footprint after the step.
+	Bytes units.Bytes
+}
+
+// Result is a simulated iteration's memory behaviour.
+type Result struct {
+	// StateBytes is the resident parameter+gradient+optimizer floor.
+	StateBytes units.Bytes
+	// PeakBytes is the maximum resident footprint over the iteration.
+	PeakBytes units.Bytes
+	// PeakStep/PeakOp locate the peak.
+	PeakStep int
+	PeakOp   string
+	Timeline []Point
+}
+
+// outputBytes returns the activation an operator materializes.
+func outputBytes(c model.Config, op model.OpDesc) float64 {
+	elem := float64(c.DT.Size())
+	switch op.Kind {
+	case model.GEMM:
+		return float64(op.GEMM.M) * float64(op.GEMM.N) * elem
+	case model.LayerNorm, model.Softmax:
+		return float64(op.Rows) * float64(op.Width) * elem
+	case model.Elementwise:
+		return op.Elems * elem
+	case model.FusedAttn:
+		// Fused attention writes only the context output — the score
+		// matrix never materializes (its memory advantage).
+		return float64(op.Rows) * float64(op.Width) * float64(op.HeadDim) * elem
+	default:
+		return 0 // collectives reduce in place
+	}
+}
+
+// Simulate walks one iteration's operator sequence and tracks resident
+// activations. With checkpointing, only one boundary activation per layer
+// survives the forward pass; each layer's internals are recomputed (and
+// re-allocated) when its backward runs. Without checkpointing, every
+// forward activation is retained until its layer's backward completes.
+func Simulate(cfg model.Config, tp int, mm model.MemoryModel) (*Result, error) {
+	if err := cfg.ValidateTP(tp); err != nil {
+		return nil, err
+	}
+	if mm.StateBytesPerParam <= 0 {
+		return nil, fmt.Errorf("memsim: non-positive state bytes per param")
+	}
+	fwd, err := model.LayerForwardOps(cfg, tp)
+	if err != nil {
+		return nil, err
+	}
+	bwd, err := model.LayerBackwardOps(cfg, tp)
+	if err != nil {
+		return nil, err
+	}
+
+	state := cfg.Params() / float64(tp) * mm.StateBytesPerParam
+	res := &Result{StateBytes: units.Bytes(state)}
+	cur := state
+	step := 0
+
+	// layerActs[l] is layer l's retained forward footprint.
+	layerActs := make([]float64, cfg.Layers)
+	boundary := cfg.ActivationElems() / float64(tp) * float64(cfg.DT.Size())
+
+	record := func(op string) {
+		res.Timeline = append(res.Timeline, Point{Step: step, Op: op, Bytes: units.Bytes(cur)})
+		if units.Bytes(cur) > res.PeakBytes {
+			res.PeakBytes = units.Bytes(cur)
+			res.PeakStep = step
+			res.PeakOp = op
+		}
+		step++
+	}
+
+	layerForward := func(l int, retainInternals bool) {
+		for _, op := range fwd {
+			b := outputBytes(cfg, op)
+			if retainInternals {
+				cur += b
+				layerActs[l] += b
+			} else {
+				// Working set exists transiently during the op…
+				cur += b
+				record(fmt.Sprintf("l%d.%s", l, op.Name))
+				// …and is dropped right after, keeping only the
+				// boundary activation at layer end.
+				cur -= b
+				continue
+			}
+			record(fmt.Sprintf("l%d.%s", l, op.Name))
+		}
+		if !retainInternals {
+			cur += boundary
+			layerActs[l] = boundary
+			record(fmt.Sprintf("l%d.checkpoint", l))
+		}
+	}
+
+	// Forward.
+	for l := 0; l < cfg.Layers; l++ {
+		layerForward(l, !mm.ActivationCheckpointing)
+	}
+	// Backward, layers in reverse. With checkpointing each layer first
+	// recomputes its internals (transient re-allocation), then frees
+	// everything it held.
+	for l := cfg.Layers - 1; l >= 0; l-- {
+		if mm.ActivationCheckpointing {
+			recompute := 0.0
+			for _, op := range fwd {
+				recompute += outputBytes(cfg, op)
+			}
+			cur += recompute
+			record(fmt.Sprintf("l%d.recompute", l))
+			for _, op := range bwd {
+				b := outputBytes(cfg, op)
+				cur += b
+				record(fmt.Sprintf("l%d.%s", l, op.Name))
+				cur -= b
+			}
+			cur -= recompute
+		} else {
+			for _, op := range bwd {
+				b := outputBytes(cfg, op)
+				cur += b
+				record(fmt.Sprintf("l%d.%s", l, op.Name))
+				cur -= b
+			}
+		}
+		cur -= layerActs[l]
+		layerActs[l] = 0
+		record(fmt.Sprintf("l%d.free", l))
+	}
+	return res, nil
+}
+
+// RequiredTP returns the smallest power-of-two TP (from minTP, capped at
+// maxTP) whose simulated peak fits in capacity — the simulation-backed
+// counterpart of model.MemoryModel.RequiredTP.
+func RequiredTP(cfg model.Config, mm model.MemoryModel, capacity units.Bytes, minTP, maxTP int) (int, error) {
+	if capacity <= 0 {
+		return 0, fmt.Errorf("memsim: non-positive capacity %v", capacity)
+	}
+	if minTP < 1 {
+		minTP = 1
+	}
+	for tp := minTP; tp <= maxTP; tp *= 2 {
+		if err := cfg.ValidateTP(tp); err != nil {
+			continue
+		}
+		r, err := Simulate(cfg, tp, mm)
+		if err != nil {
+			return 0, err
+		}
+		if r.PeakBytes <= capacity {
+			return tp, nil
+		}
+	}
+	return 0, fmt.Errorf("memsim: %s does not fit %v even at TP=%d", cfg.Name, capacity, maxTP)
+}

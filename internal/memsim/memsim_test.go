@@ -1,0 +1,160 @@
+package memsim
+
+import (
+	"testing"
+
+	"twocs/internal/model"
+	"twocs/internal/stats"
+	"twocs/internal/tensor"
+	"twocs/internal/units"
+)
+
+func cfg() model.Config {
+	return model.Config{
+		Name: "mem", Kind: model.Decoder, Layers: 4, Hidden: 2048,
+		FCDim: 8192, Heads: 32, Vocab: 10_000, SeqLen: 1024, Batch: 4,
+		DT: tensor.FP16,
+	}
+}
+
+func TestSimulateBasics(t *testing.T) {
+	r, err := Simulate(cfg(), 4, model.DefaultMemoryModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.PeakBytes <= r.StateBytes {
+		t.Error("peak must exceed the resident state floor")
+	}
+	if len(r.Timeline) == 0 {
+		t.Fatal("empty timeline")
+	}
+	// The timeline must end back at (roughly) the state floor: all
+	// activations freed.
+	last := r.Timeline[len(r.Timeline)-1]
+	if float64(last.Bytes) > float64(r.StateBytes)*1.0001 {
+		t.Errorf("iteration leaked memory: end %v vs floor %v", last.Bytes, r.StateBytes)
+	}
+	if r.PeakOp == "" {
+		t.Error("peak not located")
+	}
+}
+
+func TestCheckpointingCutsPeak(t *testing.T) {
+	on := model.MemoryModel{StateBytesPerParam: 16, ActivationCheckpointing: true}
+	off := model.MemoryModel{StateBytesPerParam: 16, ActivationCheckpointing: false}
+	rOn, err := Simulate(cfg(), 4, on)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rOff, err := Simulate(cfg(), 4, off)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rOn.PeakBytes >= rOff.PeakBytes {
+		t.Errorf("checkpointing must cut peak: %v vs %v", rOn.PeakBytes, rOff.PeakBytes)
+	}
+}
+
+func TestPeakWithoutCheckpointingIsAtBackwardStart(t *testing.T) {
+	// Without checkpointing every forward activation is live when the
+	// first backward layer runs — the peak must be in the last layer's
+	// region of the timeline, not at the start.
+	r, err := Simulate(cfg(), 4, model.MemoryModel{StateBytesPerParam: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The peak sits at the forward/backward boundary (all activations
+	// live), i.e. around the timeline's midpoint — never near step 0.
+	if r.PeakStep < len(r.Timeline)/3 {
+		t.Errorf("peak at step %d of %d; expected near the fwd/bwd boundary",
+			r.PeakStep, len(r.Timeline))
+	}
+}
+
+func TestTPShardsSimulatedMemory(t *testing.T) {
+	mm := model.DefaultMemoryModel()
+	r4, err := Simulate(cfg(), 4, mm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r8, err := Simulate(cfg(), 8, mm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(r4.PeakBytes) / float64(r8.PeakBytes)
+	if ratio < 1.7 || ratio > 2.1 {
+		t.Errorf("TP doubling shrank peak by %vx, want ~2x", ratio)
+	}
+}
+
+func TestSimulationAgreesWithClosedForm(t *testing.T) {
+	// The closed-form MemoryModel.PerDevice and the simulated peak are
+	// independent accountings of the same thing; they must agree to
+	// within ~2x (the closed form's activationsPerLayer is a convention,
+	// not a walk of the op graph).
+	mm := model.DefaultMemoryModel()
+	closed, err := mm.PerDevice(cfg(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Simulate(cfg(), 4, mm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := stats.RelErr(float64(r.PeakBytes), float64(closed)); e > 1.0 {
+		t.Errorf("simulated %v vs closed-form %v (err %.0f%%)", r.PeakBytes, closed, e*100)
+	}
+}
+
+func TestFusedAttentionSavesActivationMemory(t *testing.T) {
+	// Fused attention never materializes the seq×seq score matrix; the
+	// unfused peak must be visibly higher at long sequence lengths.
+	dense := cfg()
+	dense.SeqLen = 4096
+	fused := dense
+	fused.FusedAttention = true
+	mm := model.MemoryModel{StateBytesPerParam: 16} // no checkpointing
+	rd, err := Simulate(dense, 4, mm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rf, err := Simulate(fused, 4, mm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rf.PeakBytes >= rd.PeakBytes {
+		t.Errorf("fused peak %v should be below dense %v", rf.PeakBytes, rd.PeakBytes)
+	}
+}
+
+func TestRequiredTP(t *testing.T) {
+	mm := model.DefaultMemoryModel()
+	tp, err := RequiredTP(cfg(), mm, units.GiBCapacity(1024), 1, 64)
+	if err != nil || tp != 1 {
+		t.Errorf("huge capacity: tp=%d err=%v", tp, err)
+	}
+	big := cfg()
+	big.Hidden, big.FCDim, big.Heads = 16384, 65536, 256
+	tp, err = RequiredTP(big, mm, units.GiBCapacity(64), 1, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tp < 2 {
+		t.Errorf("16K-wide model on 64GiB should need TP>1, got %d", tp)
+	}
+	if _, err := RequiredTP(cfg(), mm, 0, 1, 8); err == nil {
+		t.Error("zero capacity accepted")
+	}
+	if _, err := RequiredTP(big, mm, 1, 1, 2); err == nil {
+		t.Error("impossible fit accepted")
+	}
+}
+
+func TestSimulateValidation(t *testing.T) {
+	if _, err := Simulate(model.Config{}, 1, model.DefaultMemoryModel()); err == nil {
+		t.Error("invalid config accepted")
+	}
+	if _, err := Simulate(cfg(), 4, model.MemoryModel{}); err == nil {
+		t.Error("zero state-bytes accepted")
+	}
+}

@@ -1,0 +1,136 @@
+package model
+
+import "twocs/internal/tensor"
+
+// Cross-attention support for encoder-decoder architectures (the T5 row
+// of Table 2): a decoder layer in such a model carries a third sub-layer
+// attending over the encoder's output. Under Megatron-style tensor
+// parallelism it adds the same column-parallel/row-parallel structure —
+// and therefore two more serialized all-reduces per layer per iteration.
+
+// CrossAttentionForwardOps returns the extra forward operators of a
+// decoder layer's cross-attention sub-layer at TP degree tp. encSeqLen is
+// the encoder-side sequence length the keys/values come from (usually
+// the model's own SL).
+func CrossAttentionForwardOps(c Config, tp, encSeqLen int) ([]OpDesc, error) {
+	if err := c.ValidateTP(tp); err != nil {
+		return nil, err
+	}
+	bsl := c.Batch * c.SeqLen
+	headDim := c.Hidden / c.Heads
+	shardHeads := c.Heads / tp
+
+	ops := []OpDesc{
+		{Name: "fwd.xattn.q", Kind: GEMM, Phase: Forward, Sublayer: "xattn",
+			GEMM: tensor.MatMul{M: bsl, N: c.Hidden / tp, K: c.Hidden, DT: c.DT}},
+		{Name: "fwd.xattn.kv", Kind: GEMM, Phase: Forward, Sublayer: "xattn",
+			GEMM: tensor.MatMul{M: c.Batch * encSeqLen, N: 2 * c.Hidden / tp, K: c.Hidden, DT: c.DT}},
+		{Name: "fwd.xattn.scores", Kind: GEMM, Phase: Forward, Sublayer: "xattn",
+			GEMM: tensor.MatMul{M: c.Batch * shardHeads * c.SeqLen, N: encSeqLen, K: headDim, DT: c.DT}},
+		{Name: "fwd.xattn.softmax", Kind: Softmax, Phase: Forward, Sublayer: "xattn",
+			Rows: c.Batch * shardHeads * c.SeqLen, Width: encSeqLen},
+		{Name: "fwd.xattn.ctx", Kind: GEMM, Phase: Forward, Sublayer: "xattn",
+			GEMM: tensor.MatMul{M: c.Batch * shardHeads * c.SeqLen, N: headDim, K: encSeqLen, DT: c.DT}},
+		{Name: "fwd.xattn.proj", Kind: GEMM, Phase: Forward, Sublayer: "xattn",
+			GEMM: tensor.MatMul{M: bsl, N: c.Hidden, K: c.Hidden / tp, DT: c.DT}},
+	}
+	if tp > 1 {
+		ops = append(ops, OpDesc{Name: "fwd.xattn.allreduce", Kind: TPAllReduce,
+			Phase: Forward, Sublayer: "xattn", Bytes: c.ActivationBytes()})
+	}
+	ops = append(ops,
+		OpDesc{Name: "fwd.xattn.residual", Kind: Elementwise, Phase: Forward,
+			Sublayer: "xattn", Elems: c.ActivationElems(), Operands: 2},
+		OpDesc{Name: "fwd.xattn.layernorm", Kind: LayerNorm, Phase: Forward,
+			Sublayer: "xattn", Rows: bsl, Width: c.Hidden},
+	)
+	for i := range ops {
+		ops[i].DT = c.DT
+	}
+	return ops, nil
+}
+
+// CrossAttentionBackwardOps returns the backward counterparts: IG+WG per
+// forward GEMM, the softmax gradient, and the backward serialized
+// all-reduce for the column-parallel Q/KV input gradients.
+func CrossAttentionBackwardOps(c Config, tp, encSeqLen int) ([]OpDesc, error) {
+	fwd, err := CrossAttentionForwardOps(c, tp, encSeqLen)
+	if err != nil {
+		return nil, err
+	}
+	var ops []OpDesc
+	ops = append(ops, OpDesc{Name: "bwd.xattn.layernorm", Kind: LayerNorm,
+		Phase: Backward, Sublayer: "xattn", Rows: c.Batch * c.SeqLen, Width: c.Hidden})
+	for i := len(fwd) - 1; i >= 0; i-- {
+		f := fwd[i]
+		switch f.Kind {
+		case GEMM:
+			ops = append(ops, backwardPair("bwd."+f.Name[len("fwd."):], "xattn", f.GEMM)...)
+		case Softmax:
+			ops = append(ops, OpDesc{Name: "bwd.xattn.softmax", Kind: Elementwise,
+				Phase: Backward, Sublayer: "xattn",
+				Elems: float64(f.Rows) * float64(f.Width), Operands: 2})
+		}
+	}
+	if tp > 1 {
+		ops = append(ops, OpDesc{Name: "bwd.xattn.allreduce", Kind: TPAllReduce,
+			Phase: Backward, Sublayer: "xattn", Bytes: c.ActivationBytes()})
+	}
+	for i := range ops {
+		ops[i].DT = c.DT
+	}
+	return ops, nil
+}
+
+// EncDecSerializedARCount is the serialized all-reduces per decoder layer
+// of an encoder-decoder model: the dense layer's four plus two for
+// cross-attention.
+const EncDecSerializedARCount = SerializedARCount + 2
+
+// EncDecLayerOps returns a full encoder-decoder decoder-layer iteration:
+// self-attention, cross-attention, and FC sub-layers with their backward
+// passes.
+func EncDecLayerOps(c Config, tp, encSeqLen int) ([]OpDesc, error) {
+	fwd, err := LayerForwardOps(c, tp)
+	if err != nil {
+		return nil, err
+	}
+	xf, err := CrossAttentionForwardOps(c, tp, encSeqLen)
+	if err != nil {
+		return nil, err
+	}
+	bwd, err := LayerBackwardOps(c, tp)
+	if err != nil {
+		return nil, err
+	}
+	xb, err := CrossAttentionBackwardOps(c, tp, encSeqLen)
+	if err != nil {
+		return nil, err
+	}
+	// Forward: self-attn sub-layer, cross-attn, FC; backward mirrors.
+	// The dense fwd list is [attn..., fc...]; splice cross-attn between.
+	var out []OpDesc
+	split := 0
+	for i, o := range fwd {
+		if o.Sublayer == "fc" {
+			split = i
+			break
+		}
+	}
+	out = append(out, fwd[:split]...)
+	out = append(out, xf...)
+	out = append(out, fwd[split:]...)
+	// Backward: fc..., cross-attn..., attn... The dense bwd list is
+	// [fc..., attn...]; splice after the fc block.
+	split = len(bwd)
+	for i, o := range bwd {
+		if o.Sublayer == "attn" {
+			split = i
+			break
+		}
+	}
+	out = append(out, bwd[:split]...)
+	out = append(out, xb...)
+	out = append(out, bwd[split:]...)
+	return out, nil
+}

@@ -1,0 +1,138 @@
+package model
+
+import (
+	"math"
+	"testing"
+)
+
+func TestCrossAttentionForwardOps(t *testing.T) {
+	c := bertConfig()
+	ops, err := CrossAttentionForwardOps(c, 4, c.SeqLen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var gemms, ars int
+	for _, o := range ops {
+		if o.Sublayer != "xattn" {
+			t.Errorf("op %s in sublayer %q", o.Name, o.Sublayer)
+		}
+		switch o.Kind {
+		case GEMM:
+			gemms++
+			if !o.GEMM.Valid() {
+				t.Errorf("%s invalid GEMM", o.Name)
+			}
+		case TPAllReduce:
+			ars++
+		}
+	}
+	if gemms != 5 {
+		t.Errorf("xattn fwd gemms = %d, want 5 (q, kv, scores, ctx, proj)", gemms)
+	}
+	if ars != 1 {
+		t.Errorf("xattn fwd ARs = %d, want 1", ars)
+	}
+}
+
+func TestCrossAttentionBackwardDoublesForward(t *testing.T) {
+	c := bertConfig()
+	fwd, err := CrossAttentionForwardOps(c, 4, c.SeqLen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bwd, err := CrossAttentionBackwardOps(c, 4, c.SeqLen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := func(ops []OpDesc) float64 {
+		s := 0.0
+		for _, o := range ops {
+			s += float64(o.FLOPs())
+		}
+		return s
+	}
+	fw, bw := sum(fwd), sum(bwd)
+	if math.Abs(bw-2*fw) > 1e-6*fw {
+		t.Errorf("xattn backward FLOPs = %v, want 2x forward %v", bw, fw)
+	}
+}
+
+func TestEncDecLayerSixSerializedARs(t *testing.T) {
+	c := bertConfig()
+	ops, err := EncDecLayerOps(c, 8, c.SeqLen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ars := 0
+	for _, o := range ops {
+		if o.Kind == TPAllReduce {
+			ars++
+		}
+	}
+	if ars != EncDecSerializedARCount {
+		t.Errorf("enc-dec layer ARs = %d, want %d", ars, EncDecSerializedARCount)
+	}
+}
+
+func TestEncDecLayerOrdering(t *testing.T) {
+	c := bertConfig()
+	ops, err := EncDecLayerOps(c, 4, c.SeqLen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Forward order must be attn → xattn → fc; backward fc → xattn → attn.
+	order := []string{}
+	for _, o := range ops {
+		key := o.Phase.String() + "." + o.Sublayer
+		if len(order) == 0 || order[len(order)-1] != key {
+			order = append(order, key)
+		}
+	}
+	want := []string{"fwd.attn", "fwd.xattn", "fwd.fc", "bwd.fc", "bwd.xattn", "bwd.attn"}
+	if len(order) != len(want) {
+		t.Fatalf("sublayer order = %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("sublayer order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestCrossAttentionEncSeqLenScalesScores(t *testing.T) {
+	c := bertConfig()
+	short, err := CrossAttentionForwardOps(c, 4, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	long, err := CrossAttentionForwardOps(c, 4, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pick := func(ops []OpDesc, name string) OpDesc {
+		for _, o := range ops {
+			if o.Name == name {
+				return o
+			}
+		}
+		t.Fatalf("missing %s", name)
+		return OpDesc{}
+	}
+	s1 := pick(short, "fwd.xattn.scores").FLOPs()
+	s2 := pick(long, "fwd.xattn.scores").FLOPs()
+	if math.Abs(float64(s2)/float64(s1)-8) > 1e-9 {
+		t.Errorf("scores FLOPs ratio = %v, want 8 (linear in encoder SL)", float64(s2)/float64(s1))
+	}
+}
+
+func TestCrossAttentionValidation(t *testing.T) {
+	c := bertConfig()
+	if _, err := CrossAttentionForwardOps(c, 3, c.SeqLen); err == nil {
+		t.Error("non-dividing TP accepted")
+	}
+	bad := c
+	bad.Hidden = 0
+	if _, err := CrossAttentionForwardOps(bad, 4, 512); err == nil {
+		t.Error("invalid config accepted")
+	}
+}

@@ -1,0 +1,97 @@
+package model
+
+import (
+	"math"
+	"testing"
+)
+
+func fusedConfig() Config {
+	c := bertConfig()
+	c.FusedAttention = true
+	return c
+}
+
+func TestFusedAttentionOpGraph(t *testing.T) {
+	fwd, err := LayerForwardOps(fusedConfig(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fused, softmaxes, gemms int
+	for _, o := range fwd {
+		switch o.Kind {
+		case FusedAttn:
+			fused++
+			if o.Rows <= 0 || o.Width <= 0 || o.HeadDim <= 0 {
+				t.Errorf("fused op missing dims: %+v", o)
+			}
+		case Softmax:
+			softmaxes++
+		case GEMM:
+			gemms++
+		}
+	}
+	if fused != 1 {
+		t.Errorf("fused ops = %d, want 1", fused)
+	}
+	if softmaxes != 0 {
+		t.Error("fused path must not emit a standalone softmax")
+	}
+	// qkv, proj, fc1, fc2 remain.
+	if gemms != 4 {
+		t.Errorf("gemms = %d, want 4", gemms)
+	}
+}
+
+func TestFusedAttentionBackwardConvention(t *testing.T) {
+	bwd, err := LayerBackwardOps(fusedConfig(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fused := 0
+	for _, o := range bwd {
+		if o.Kind == FusedAttn {
+			fused++
+		}
+	}
+	if fused != 2 {
+		t.Errorf("backward fused ops = %d, want 2 (the 2x convention)", fused)
+	}
+}
+
+func TestFusedAttentionPreservesAllReduces(t *testing.T) {
+	ops, err := LayerOps(fusedConfig(), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ars := 0
+	for _, o := range ops {
+		if o.Kind == TPAllReduce {
+			ars++
+		}
+	}
+	if ars != SerializedARCount {
+		t.Errorf("fused path has %d ARs, want %d — fusion changes compute, not sharding", ars, SerializedARCount)
+	}
+}
+
+func TestFusedAttentionPreservesGEMMFLOPs(t *testing.T) {
+	// Fusing moves attention math out of GEMM kind but leaves the rest
+	// identical: the GEMM total must drop by exactly the scores+ctx
+	// contribution (forward and their backward pairs).
+	dense, err := GEMMFLOPsPerLayer(bertConfig(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fused, err := GEMMFLOPsPerLayer(fusedConfig(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := bertConfig()
+	// scores+ctx forward: 2 GEMMs × 2·B·(heads/tp)·SL²·headDim; ×3 with
+	// backward.
+	attnCore := 3 * 2 * 2 * float64(c.Batch) * float64(c.Heads/4) *
+		float64(c.SeqLen) * float64(c.SeqLen) * float64(c.Hidden/c.Heads)
+	if math.Abs(float64(dense-fused)-attnCore) > 1e-6*attnCore {
+		t.Errorf("GEMM delta = %v, want %v", float64(dense-fused), attnCore)
+	}
+}

@@ -1,0 +1,92 @@
+package model
+
+import (
+	"fmt"
+
+	"twocs/internal/units"
+)
+
+// MemoryModel estimates per-device training memory, the constraint that
+// forces small batches and large TP degrees as models outgrow device
+// capacity (paper §3.5 and Fig 6).
+type MemoryModel struct {
+	// StateBytesPerParam is the total bytes of persistent state per
+	// parameter: weights + gradients + optimizer state. Mixed-precision
+	// Adam keeps FP16 weights (2) + FP16 gradients (2) + FP32 master
+	// weights (4) + two FP32 moments (8) = 16 bytes per parameter.
+	StateBytesPerParam float64
+
+	// ActivationCheckpointing keeps only one stored activation per
+	// layer, recomputing the rest during backprop — standard at large
+	// scale. Without it every sub-layer activation is retained.
+	ActivationCheckpointing bool
+}
+
+// DefaultMemoryModel is mixed-precision Adam with checkpointing.
+func DefaultMemoryModel() MemoryModel {
+	return MemoryModel{StateBytesPerParam: 16, ActivationCheckpointing: true}
+}
+
+// activationsPerLayer is the number of full [B,SL,H] tensors retained per
+// layer without checkpointing (QKV, scores-scale inputs, attention out,
+// both FC activations, norms — a conventional ~8× accounting).
+const activationsPerLayer = 8.0
+
+// PerDevice returns the per-device memory footprint of training c at
+// tensor-parallel degree tp: the device's 1/tp shard of parameter state
+// plus its shard of retained activations.
+func (m MemoryModel) PerDevice(c Config, tp int) (units.Bytes, error) {
+	if err := c.ValidateTP(tp); err != nil {
+		return 0, err
+	}
+	if m.StateBytesPerParam <= 0 {
+		return 0, fmt.Errorf("model: non-positive state bytes per param %v", m.StateBytesPerParam)
+	}
+	state := c.Params() / float64(tp) * m.StateBytesPerParam
+	perLayer := c.ActivationElems() * float64(c.DT.Size()) / float64(tp)
+	n := activationsPerLayer
+	if m.ActivationCheckpointing {
+		n = 1
+	}
+	acts := float64(c.Layers) * n * perLayer
+	return units.Bytes(state + acts), nil
+}
+
+// RequiredTP returns the smallest power-of-two tensor-parallel degree (at
+// least minTP) at which the model fits in capacity, capped at maxTP.
+// It returns an error if even maxTP does not fit.
+func (m MemoryModel) RequiredTP(c Config, capacity units.Bytes, minTP, maxTP int) (int, error) {
+	if capacity <= 0 {
+		return 0, fmt.Errorf("model: non-positive capacity %v", capacity)
+	}
+	if minTP < 1 {
+		minTP = 1
+	}
+	for tp := minTP; tp <= maxTP; tp *= 2 {
+		if err := c.ValidateTP(tp); err != nil {
+			continue // tp does not divide the model; try the next
+		}
+		need, err := m.PerDevice(c, tp)
+		if err != nil {
+			return 0, err
+		}
+		if need <= capacity {
+			return tp, nil
+		}
+	}
+	return 0, fmt.Errorf("model %s: does not fit %v per device even at TP=%d",
+		c.Name, capacity, maxTP)
+}
+
+// TPScaleEstimate implements the paper's §4.3.2 estimator for the TP a
+// future model requires: base_TP · (p/s), where p is the model-size ratio
+// to Megatron-LM BERT (3.9B, TP=8) and s is the device memory-capacity
+// scaling ratio over the same period.
+func TPScaleEstimate(e ZooEntry, capacityScale float64) (float64, error) {
+	if capacityScale <= 0 {
+		return 0, fmt.Errorf("model: non-positive capacity scale %v", capacityScale)
+	}
+	base := MegatronLMBERT()
+	p := e.Config.Params() / base.Config.Params()
+	return p / capacityScale, nil
+}

@@ -1,0 +1,109 @@
+package model
+
+import (
+	"fmt"
+
+	"twocs/internal/tensor"
+)
+
+// ZooEntry is one published Transformer from the paper's Table 2, plus
+// the per-device batch and tensor-parallel degree used for the Figure 7
+// algorithmic-scaling trend.
+type ZooEntry struct {
+	Config Config
+	Year   int
+	// PaperSizeB is the parameter count the paper's Table 2 reports, in
+	// billions. Our closed-form Params() reproduces it within ~15% for
+	// the standard decoder architectures; deviations (T5's unusual
+	// feed-forward, PaLM's SwiGLU/multi-query variations) are expected
+	// and reported by the Table 2 benchmark.
+	PaperSizeB float64
+	// Batch is the representative per-device batch size. The paper
+	// (§3.5, §4.3.2) observes B collapsing to 1 for the largest models
+	// as memory pressure grows.
+	Batch int
+	// TP is the representative tensor-parallel degree of the model's
+	// training setup, the divisor in the Figure 7 edge trend.
+	TP int
+}
+
+// Zoo returns the paper's Table 2 models in publication order. Sizes use
+// the exact dimensions behind the table's rounded "K" values (1K=1024,
+// 12K=12288, ...), which the head counts confirm (e.g. 20480/128=160).
+func Zoo() []ZooEntry {
+	mk := func(name string, kind LayerKind, layers, h, fc, heads, sl int) Config {
+		return Config{
+			Name: name, Kind: kind, Layers: layers, Hidden: h, FCDim: fc,
+			Heads: heads, Vocab: 50_000, SeqLen: sl, Batch: 1, DT: tensor.FP32,
+		}
+	}
+	entries := []ZooEntry{
+		{Year: 2018, PaperSizeB: 0.34, Batch: 16, TP: 1,
+			Config: mk("BERT", Encoder, 24, 1024, 4096, 16, 512)},
+		{Year: 2019, PaperSizeB: 11, Batch: 16, TP: 1,
+			Config: mk("T5", EncoderDecoder, 24, 1024, 4096, 128, 512)},
+		{Year: 2019, PaperSizeB: 1.54, Batch: 8, TP: 1,
+			Config: mk("GPT-2", Decoder, 48, 1600, 6400, 25, 1024)},
+		{Year: 2019, PaperSizeB: 8.3, Batch: 4, TP: 8,
+			Config: mk("Megatron-LM", Decoder, 74, 3072, 12288, 24, 1024)},
+		{Year: 2020, PaperSizeB: 17, Batch: 4, TP: 16,
+			Config: mk("T-NLG", Decoder, 78, 4256, 17024, 28, 1024)},
+		{Year: 2020, PaperSizeB: 175, Batch: 2, TP: 32,
+			Config: mk("GPT-3", Decoder, 96, 12288, 49152, 96, 2048)},
+		{Year: 2021, PaperSizeB: 530, Batch: 1, TP: 64,
+			Config: mk("MT-NLG", Decoder, 105, 20480, 81920, 128, 2048)},
+		{Year: 2022, PaperSizeB: 540, Batch: 1, TP: 64,
+			Config: mk("PaLM", Decoder, 118, 18432, 73728, 48, 2048)},
+	}
+	for i := range entries {
+		entries[i].Config.Batch = entries[i].Batch
+	}
+	return entries
+}
+
+// LookupZoo finds a zoo entry by model name.
+func LookupZoo(name string) (ZooEntry, error) {
+	for _, e := range Zoo() {
+		if e.Config.Name == name {
+			return e, nil
+		}
+	}
+	return ZooEntry{}, fmt.Errorf("model: unknown zoo model %q", name)
+}
+
+// MegatronLMBERT is the 3.9-billion-parameter Megatron-LM BERT variant
+// the paper anchors its required-TP estimator on (§4.3.2): the first
+// publicly known Transformer trained with tensor parallelism, at TP=8.
+func MegatronLMBERT() ZooEntry {
+	return ZooEntry{
+		Year: 2019, PaperSizeB: 3.9, Batch: 8, TP: 8,
+		Config: Config{
+			Name: "Megatron-LM_BERT", Kind: Encoder, Layers: 48, Hidden: 2560,
+			FCDim: 10240, Heads: 40, Vocab: 50_000, SeqLen: 512, Batch: 8,
+			DT: tensor.FP32,
+		},
+	}
+}
+
+// FutureModels returns the paper's projected "futuristic" models used in
+// Figures 10-14: T-NLG-class (H=4K), PaLM-class 1x (H=16K), and scaled
+// PaLM-2x/3x (H=32K/64K) Transformers with SL=2-4K (§4.3.4 considers a
+// medium Transformer ~T-NLG, one of the largest today ~PALM, and a large
+// futuristic Transformer).
+func FutureModels() []ZooEntry {
+	mk := func(name string, h, sl, b, tp, layers int, year int) ZooEntry {
+		return ZooEntry{
+			Year: year, Batch: b, TP: tp,
+			Config: Config{
+				Name: name, Kind: Decoder, Layers: layers, Hidden: h, FCDim: 4 * h,
+				Heads: h / 128, Vocab: 50_000, SeqLen: sl, Batch: b, DT: tensor.FP32,
+			},
+		}
+	}
+	return []ZooEntry{
+		mk("T-NLG-1x", 4096, 1024, 4, 16, 78, 2020),
+		mk("PaLM-1x", 16384, 2048, 1, 64, 118, 2022),
+		mk("PaLM-2x", 32768, 2048, 1, 128, 140, 2024),
+		mk("PaLM-3x", 65536, 4096, 1, 256, 160, 2026),
+	}
+}

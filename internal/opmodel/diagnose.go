@@ -1,0 +1,84 @@
+package opmodel
+
+import (
+	"fmt"
+	"sort"
+
+	"twocs/internal/model"
+	"twocs/internal/profile"
+	"twocs/internal/stats"
+	"twocs/internal/units"
+)
+
+// OpError is one operator's projection-vs-ground-truth comparison for a
+// target configuration.
+type OpError struct {
+	Name      string
+	Kind      model.OpKind
+	Measured  units.Seconds
+	Projected units.Seconds
+	RelErr    float64
+	// Share is the operator's fraction of the layer's measured time —
+	// large errors on negligible operators matter less.
+	Share float64
+}
+
+// Diagnosis is a full per-operator audit of one projection.
+type Diagnosis struct {
+	Target model.Config
+	TP     int
+	Ops    []OpError
+	// LayerErr is the relative error of the summed layer time — the
+	// error that actually propagates into the Figure 10-14 fractions.
+	LayerErr float64
+	// WorstOp is the operator with the largest weighted error
+	// (RelErr·Share).
+	WorstOp string
+}
+
+// Diagnose projects every operator of the target layer and compares each
+// against ground truth. This is the debugging view behind the paper's
+// Figure 15 discussion of where and why individual projections miss.
+func (m *Model) Diagnose(truth profile.OpTimer, target model.Config, tp int) (Diagnosis, error) {
+	if truth == nil {
+		return Diagnosis{}, fmt.Errorf("opmodel: nil ground-truth timer")
+	}
+	ops, err := model.LayerOps(target, tp)
+	if err != nil {
+		return Diagnosis{}, err
+	}
+	d := Diagnosis{Target: target, TP: tp}
+	var measuredTotal, projectedTotal float64
+	rows := make([]OpError, 0, len(ops))
+	for _, op := range ops {
+		meas, err := truth.Time(op)
+		if err != nil {
+			return Diagnosis{}, err
+		}
+		proj, err := m.ProjectOp(op, tp)
+		if err != nil {
+			return Diagnosis{}, err
+		}
+		measuredTotal += float64(meas)
+		projectedTotal += float64(proj)
+		rows = append(rows, OpError{
+			Name: op.Name, Kind: op.Kind, Measured: meas, Projected: proj,
+			RelErr: stats.RelErr(float64(proj), float64(meas)),
+		})
+	}
+	if measuredTotal <= 0 {
+		return Diagnosis{}, fmt.Errorf("opmodel: zero measured layer time")
+	}
+	for i := range rows {
+		rows[i].Share = float64(rows[i].Measured) / measuredTotal
+	}
+	sort.SliceStable(rows, func(i, j int) bool {
+		return rows[i].RelErr*rows[i].Share > rows[j].RelErr*rows[j].Share
+	})
+	d.Ops = rows
+	if len(rows) > 0 {
+		d.WorstOp = rows[0].Name
+	}
+	d.LayerErr = stats.RelErr(projectedTotal, measuredTotal)
+	return d, nil
+}

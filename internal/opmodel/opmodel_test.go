@@ -1,0 +1,479 @@
+package opmodel
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"twocs/internal/collective"
+	"twocs/internal/dist"
+	"twocs/internal/hw"
+	"twocs/internal/kernels"
+	"twocs/internal/model"
+	"twocs/internal/profile"
+	"twocs/internal/tensor"
+	"twocs/internal/units"
+)
+
+// baseline returns a profiled BERT-like baseline at TP=4 on the MI210
+// node, plus the ground-truth timer it was profiled with.
+func baseline(t *testing.T) (*Model, *dist.Timer, model.Config) {
+	t.Helper()
+	e, _ := model.LookupZoo("BERT")
+	cfg := e.Config
+	p := dist.Plan{
+		Model: cfg, TP: 4, DP: 1,
+		Cluster: hw.MI210Cluster(64, 1.0/8),
+		Algo:    collective.Ring,
+	}
+	calc, err := kernels.NewCalculator(hw.MI210)
+	if err != nil {
+		t.Fatal(err)
+	}
+	timer, err := dist.NewTimer(p, calc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, err := profile.Iteration(cfg, 4, timer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Calibrate(prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, timer, cfg
+}
+
+func TestCalibrateErrors(t *testing.T) {
+	if _, err := Calibrate(nil); err == nil {
+		t.Error("nil profile accepted")
+	}
+	if _, err := Calibrate(&profile.Profile{}); err == nil {
+		t.Error("empty profile accepted")
+	}
+}
+
+func TestProjectOpExactAtBaseline(t *testing.T) {
+	// Projecting the baseline's own operators must reproduce the
+	// measured times exactly (scale factor 1).
+	m, timer, cfg := baseline(t)
+	ops, err := model.LayerOps(cfg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, op := range ops {
+		proj, err := m.ProjectOp(op, 4)
+		if err != nil {
+			t.Fatalf("%s: %v", op.Name, err)
+		}
+		meas, err := timer.Time(op)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(float64(proj-meas)) > 1e-12*float64(meas) {
+			t.Errorf("%s: projected %v != measured %v at baseline", op.Name, proj, meas)
+		}
+	}
+}
+
+func TestProjectUnknownOp(t *testing.T) {
+	m, _, _ := baseline(t)
+	_, err := m.ProjectOp(model.OpDesc{Name: "nope", Kind: model.GEMM,
+		GEMM: tensor.MatMul{M: 1, N: 1, K: 1, DT: tensor.FP16}}, 4)
+	if err == nil || !strings.Contains(err.Error(), "no baseline measurement") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestProjectAllReduceLinearInBytes(t *testing.T) {
+	m, _, _ := baseline(t)
+	t1, err := m.ProjectAllReduce(units.Bytes(1*units.Mega), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := m.ProjectAllReduce(units.Bytes(2*units.Mega), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(float64(t2)/float64(t1)-2) > 1e-9 {
+		t.Errorf("AR projection not linear: %v vs %v", t1, t2)
+	}
+	if z, err := m.ProjectAllReduce(0, 4); err != nil || z != 0 {
+		t.Errorf("zero-byte AR: %v, %v", z, err)
+	}
+	if z, err := m.ProjectAllReduce(100, 1); err != nil || z != 0 {
+		t.Errorf("single-rank AR: %v, %v", z, err)
+	}
+	if _, err := m.ProjectAllReduce(-1, 4); err == nil {
+		t.Error("negative bytes accepted")
+	}
+}
+
+func TestProjectAllReduceGroupFactor(t *testing.T) {
+	// Scaling group size changes only the ring factor 2(N-1)/N.
+	m, _, _ := baseline(t)
+	t4, err := m.ProjectAllReduce(units.Bytes(units.Mega), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t256, err := m.ProjectAllReduce(units.Bytes(units.Mega), 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := (2.0 * 255 / 256) / (2.0 * 3 / 4)
+	if got := float64(t256) / float64(t4); math.Abs(got-want) > 1e-9 {
+		t.Errorf("group factor ratio = %v, want %v", got, want)
+	}
+}
+
+func TestCalibrateWithoutARNeedsReference(t *testing.T) {
+	// A TP=1 baseline has no all-reduces; projecting collectives must
+	// fail without an explicit reference and work with one.
+	e, _ := model.LookupZoo("BERT")
+	cfg := e.Config
+	p := dist.Plan{Model: cfg, TP: 1, DP: 1, Cluster: hw.MI210Cluster(1, 0), Algo: collective.Ring}
+	calc, err := kernels.NewCalculator(hw.MI210)
+	if err != nil {
+		t.Fatal(err)
+	}
+	timer, err := dist.NewTimer(p, calc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, err := profile.Iteration(cfg, 1, timer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Calibrate(prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.ProjectAllReduce(1024, 4); err == nil {
+		t.Error("AR projection without calibration accepted")
+	}
+	m2, err := Calibrate(prof, WithARReference(ARReference{
+		Bytes: units.Bytes(units.Mega), Group: 4, Time: 100 * units.Microsecond,
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m2.ProjectAllReduce(1024, 4); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestProjectLayerAndIteration(t *testing.T) {
+	m, _, cfg := baseline(t)
+	target := cfg
+	target.Hidden, target.FCDim, target.Heads = 4096, 16384, 64
+	target.SeqLen = 1024
+	lp, err := m.ProjectLayer(target, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lp.Compute <= 0 || lp.SerializedComm <= 0 {
+		t.Fatalf("projection = %+v", lp)
+	}
+	ip, err := m.ProjectIteration(target, 16, hw.Identity())
+	if err != nil {
+		t.Fatal(err)
+	}
+	perLayerTotal := float64(lp.Compute + lp.SerializedComm)
+	if math.Abs(float64(ip.Total())-perLayerTotal*float64(target.Layers)) > 1e-9*float64(ip.Total()) {
+		t.Error("iteration must be layers × layer projection")
+	}
+	if f := ip.CommFraction(); f <= 0 || f >= 1 {
+		t.Errorf("comm fraction = %v", f)
+	}
+}
+
+func TestProjectIterationEvolutionShiftsBottleneck(t *testing.T) {
+	// Fig 12: accelerating compute 4× against a fixed network must
+	// raise the serialized-communication fraction.
+	m, _, cfg := baseline(t)
+	target := cfg
+	target.Hidden, target.FCDim, target.Heads = 16384, 65536, 128
+	target.SeqLen = 2048
+	base, err := m.ProjectIteration(target, 64, hw.Identity())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, err := m.ProjectIteration(target, 64, hw.FlopVsBWScenario(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fast.CommFraction() <= base.CommFraction() {
+		t.Errorf("4x flop-vs-bw must raise comm fraction: %v vs %v",
+			fast.CommFraction(), base.CommFraction())
+	}
+	if math.Abs(float64(fast.SerializedComm-base.SerializedComm)) > 1e-12*float64(base.SerializedComm) {
+		t.Error("NetScale=1 must leave comm time unchanged")
+	}
+	if _, err := m.ProjectIteration(target, 64, hw.Evolution{}); err == nil {
+		t.Error("invalid evolution accepted")
+	}
+}
+
+func TestValidationGEMMvsSLWithinPaperError(t *testing.T) {
+	// Fig 15a: projecting GEMM runtime linearly in SL should land
+	// within ~15% of ground truth (geomean) across a 8x SL sweep.
+	m, timer, _ := baseline(t)
+	v, err := ValidateOpSweep(m, timer, "fwd.fc.fc1", "gemm-vs-sl", 4, SweepSL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.GeoMeanErr > 0.15 {
+		t.Errorf("GEMM-vs-SL geomean error %.1f%%, paper reports ~15%%", v.GeoMeanErr*100)
+	}
+	if len(v.Points) != 4 {
+		t.Errorf("points = %d", len(v.Points))
+	}
+}
+
+func TestValidationGEMMvsHWithinPaperError(t *testing.T) {
+	m, timer, _ := baseline(t)
+	v, err := ValidateOpSweep(m, timer, "fwd.fc.fc1", "gemm-vs-h", 4, SweepH)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.GeoMeanErr > 0.15 {
+		t.Errorf("GEMM-vs-H geomean error %.1f%%, paper reports ~15%%", v.GeoMeanErr*100)
+	}
+}
+
+func TestValidationLayerNormWithinPaperError(t *testing.T) {
+	// Fig 15b: LayerNorm projection error ~7%.
+	m, timer, _ := baseline(t)
+	for _, sweep := range []struct {
+		name   string
+		mutate func(model.Config, int) (model.Config, float64)
+	}{{"ln-vs-sl", SweepSL}, {"ln-vs-h", SweepH}} {
+		v, err := ValidateOpSweep(m, timer, "fwd.attn.layernorm", sweep.name, 4, sweep.mutate)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v.GeoMeanErr > 0.10 {
+			t.Errorf("%s geomean error %.1f%%, paper reports ~7%%", sweep.name, v.GeoMeanErr*100)
+		}
+	}
+}
+
+// sweepCalibrated rebuilds the baseline model with the paper's Fig 15c
+// collective calibration: an affine fit over a measured size sweep.
+func sweepCalibrated(t *testing.T) (*Model, *dist.Timer) {
+	t.Helper()
+	_, timer, cfg := baseline(t)
+	prof, err := profile.Iteration(cfg, 4, timer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var refs []ARReference
+	for _, sz := range []units.Bytes{
+		units.Bytes(1 * units.MiB), units.Bytes(8 * units.MiB),
+		units.Bytes(64 * units.MiB), units.Bytes(256 * units.MiB),
+	} {
+		d, err := timer.Time(model.OpDesc{Kind: model.TPAllReduce, Bytes: sz})
+		if err != nil {
+			t.Fatal(err)
+		}
+		refs = append(refs, ARReference{Bytes: sz, Group: 4, Time: d})
+	}
+	m, err := Calibrate(prof, WithARSweep(refs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, timer
+}
+
+func TestValidationAllReduceWithinPaperError(t *testing.T) {
+	// Fig 15c: all-reduce projection error ~11% across a size sweep.
+	// Validation sizes deliberately differ from the calibration sizes.
+	m, timer := sweepCalibrated(t)
+	sizes := []units.Bytes{
+		units.Bytes(512 * units.KiB), units.Bytes(2 * units.MiB),
+		units.Bytes(16 * units.MiB), units.Bytes(48 * units.MiB),
+		units.Bytes(128 * units.MiB), units.Bytes(512 * units.MiB),
+	}
+	v, err := ValidateAllReduce(m, timer, 4, sizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.GeoMeanErr > 0.20 {
+		t.Errorf("all-reduce geomean error %.1f%%, paper reports ~11%%", v.GeoMeanErr*100)
+	}
+	if v.MaxErr < 0.005 {
+		t.Errorf("max error %.2f%% suspiciously small; protocol selection missing?", v.MaxErr*100)
+	}
+}
+
+func TestWithARSweepValidation(t *testing.T) {
+	_, timer, cfg := baseline(t)
+	prof, err := profile.Iteration(cfg, 4, timer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Calibrate(prof, WithARSweep(nil)); err == nil {
+		t.Error("empty sweep accepted")
+	}
+	mixed := []ARReference{
+		{Bytes: 1024, Group: 4, Time: 1},
+		{Bytes: 2048, Group: 8, Time: 2},
+	}
+	if _, err := Calibrate(prof, WithARSweep(mixed)); err == nil {
+		t.Error("mixed group sizes accepted")
+	}
+}
+
+func TestValidationErrorsAreNonzero(t *testing.T) {
+	// The projection must NOT be exact away from the baseline — if it
+	// were, we would be comparing the model with itself and the Fig 15
+	// reproduction would be vacuous.
+	m, timer, _ := baseline(t)
+	v, err := ValidateOpSweep(m, timer, "fwd.fc.fc1", "gemm-vs-sl", 4, SweepSL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.MaxErr < 0.005 {
+		t.Errorf("max error %.2f%% suspiciously small; non-idealities missing?", v.MaxErr*100)
+	}
+}
+
+func TestValidateSweepErrors(t *testing.T) {
+	m, timer, _ := baseline(t)
+	if _, err := ValidateOpSweep(m, nil, "fwd.fc.fc1", "x", 2, SweepSL); err == nil {
+		t.Error("nil timer accepted")
+	}
+	if _, err := ValidateOpSweep(m, timer, "fwd.fc.fc1", "x", 0, SweepSL); err == nil {
+		t.Error("zero steps accepted")
+	}
+	if _, err := ValidateOpSweep(m, timer, "no.such.op", "x", 2, SweepSL); err == nil {
+		t.Error("unknown op accepted")
+	}
+}
+
+func TestDiagnose(t *testing.T) {
+	m, timer, cfg := baseline(t)
+	target := cfg
+	target.Hidden, target.FCDim, target.Heads = 4096, 16384, 64
+	d, err := m.Diagnose(timer, target, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops, _ := model.LayerOps(target, 16)
+	if len(d.Ops) != len(ops) {
+		t.Fatalf("%d rows, want %d", len(d.Ops), len(ops))
+	}
+	shareSum := 0.0
+	for _, o := range d.Ops {
+		if o.Measured <= 0 || o.Projected <= 0 {
+			t.Errorf("%s: non-positive times %v/%v", o.Name, o.Measured, o.Projected)
+		}
+		shareSum += o.Share
+	}
+	if math.Abs(shareSum-1) > 1e-9 {
+		t.Errorf("shares sum to %v", shareSum)
+	}
+	// Rows sorted by weighted error, worst first.
+	for i := 1; i < len(d.Ops); i++ {
+		a := d.Ops[i-1].RelErr * d.Ops[i-1].Share
+		b := d.Ops[i].RelErr * d.Ops[i].Share
+		if b > a+1e-12 {
+			t.Error("diagnosis rows not sorted by weighted error")
+		}
+	}
+	if d.WorstOp != d.Ops[0].Name {
+		t.Errorf("WorstOp %q != first row %q", d.WorstOp, d.Ops[0].Name)
+	}
+	// Layer error must stay within the paper's projection error band.
+	if d.LayerErr > 0.25 {
+		t.Errorf("layer projection error %.0f%% too large", d.LayerErr*100)
+	}
+}
+
+func TestDiagnoseAtBaselineIsNearExact(t *testing.T) {
+	m, timer, cfg := baseline(t)
+	d, err := m.Diagnose(timer, cfg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.LayerErr > 1e-9 {
+		t.Errorf("baseline self-projection error %v, want ~0", d.LayerErr)
+	}
+}
+
+func TestDiagnoseErrors(t *testing.T) {
+	m, _, cfg := baseline(t)
+	if _, err := m.Diagnose(nil, cfg, 4); err == nil {
+		t.Error("nil timer accepted")
+	}
+}
+
+func TestLatencyAwareARBeatsLinearAtLargeGroups(t *testing.T) {
+	// Calibrate both variants from the same sweep, then compare against
+	// ground truth at a much larger group: the two-term form must be
+	// strictly more accurate because ring latency grows with (n-1), not
+	// with the bandwidth factor.
+	_, timer, cfg := baseline(t)
+	prof, err := profile.Iteration(cfg, 4, timer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var refs []ARReference
+	for _, sz := range []units.Bytes{
+		units.Bytes(1 * units.MiB), units.Bytes(8 * units.MiB),
+		units.Bytes(64 * units.MiB), units.Bytes(256 * units.MiB),
+	} {
+		d, err := timer.Time(model.OpDesc{Kind: model.TPAllReduce, Bytes: sz})
+		if err != nil {
+			t.Fatal(err)
+		}
+		refs = append(refs, ARReference{Bytes: sz, Group: 4, Time: d})
+	}
+	plain, err := Calibrate(prof, WithARSweep(refs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	aware, err := Calibrate(prof, WithARSweep(refs), WithLatencyAwareAR())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Ground truth at group 256 over the same intra-node path.
+	truthModel, err := collective.NewCostModel(timer.TPModel.Path, collective.Ring)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1 GiB across 256 ranks keeps the per-step chunk in the same
+	// wire-protocol band as the calibration sweep; latency is still a
+	// large share (510 ring steps), which is what separates the models.
+	const n = 256
+	bytes := units.Bytes(1 * units.GiB)
+	want, err := truthModel.AllReduce(n, bytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pPlain, err := plain.ProjectAllReduce(bytes, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pAware, err := aware.ProjectAllReduce(bytes, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	errPlain := math.Abs(float64(pPlain-want)) / float64(want)
+	errAware := math.Abs(float64(pAware-want)) / float64(want)
+	if errAware >= errPlain {
+		t.Errorf("latency-aware error %.1f%% should beat linear %.1f%% at n=%d",
+			errAware*100, errPlain*100, n)
+	}
+	if errAware > 0.25 {
+		t.Errorf("latency-aware error %.1f%% still too large", errAware*100)
+	}
+	// Both must agree at the calibration group itself.
+	w4, _ := truthModel.AllReduce(4, bytes)
+	a4, _ := aware.ProjectAllReduce(bytes, 4)
+	if math.Abs(float64(a4-w4)) > 0.15*float64(w4) {
+		t.Errorf("latency-aware at calibration group: %v vs truth %v", a4, w4)
+	}
+}

@@ -1,0 +1,114 @@
+package opmodel
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"twocs/internal/hw"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	m, _, cfg := baseline(t)
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Projections from the loaded model must match the original exactly.
+	target := cfg
+	target.Hidden, target.FCDim, target.Heads = 8192, 32768, 128
+	want, err := m.ProjectIteration(target, 32, hw.FlopVsBWScenario(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := loaded.ProjectIteration(target, 32, hw.FlopVsBWScenario(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Compute != want.Compute || got.SerializedComm != want.SerializedComm {
+		t.Errorf("loaded projection %+v != original %+v", got, want)
+	}
+	ar1, err := m.ProjectAllReduce(1<<20, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ar2, err := loaded.ProjectAllReduce(1<<20, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ar1 != ar2 {
+		t.Errorf("AR projection differs after round trip: %v vs %v", ar1, ar2)
+	}
+}
+
+func TestSaveIsDeterministic(t *testing.T) {
+	m, _, _ := baseline(t)
+	var a, b bytes.Buffer
+	if err := m.Save(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Save(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("Save output is not deterministic")
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	cases := map[string]string{
+		"not json":      "][",
+		"empty object":  "{}",
+		"wrong version": `{"version": 99}`,
+		"no records": `{"version":1,"base":{"Name":"b","Kind":0,"Layers":1,"Hidden":64,
+			"FCDim":256,"Heads":1,"Vocab":0,"SeqLen":8,"Batch":1,"DT":0},"base_tp":1}`,
+	}
+	for name, payload := range cases {
+		if _, err := Load(strings.NewReader(payload)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestLoadRejectsCorruptRecords(t *testing.T) {
+	m, _, _ := baseline(t)
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt one record time to zero.
+	s := strings.Replace(buf.String(), `"Time"`, `"Time_ignored"`, 1)
+	if _, err := Load(strings.NewReader(s)); err == nil {
+		t.Error("zeroed record time accepted")
+	}
+}
+
+func TestLoadedModelDiagnosesIdentically(t *testing.T) {
+	m, timer, cfg := baseline(t)
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := cfg
+	target.SeqLen = 2048
+	d1, err := m.Diagnose(timer, target, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := loaded.Diagnose(timer, target, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1.LayerErr != d2.LayerErr || d1.WorstOp != d2.WorstOp {
+		t.Errorf("diagnosis differs after round trip: %v/%s vs %v/%s",
+			d1.LayerErr, d1.WorstOp, d2.LayerErr, d2.WorstOp)
+	}
+}

@@ -1,0 +1,143 @@
+package opmodel
+
+import (
+	"fmt"
+
+	"twocs/internal/model"
+	"twocs/internal/profile"
+	"twocs/internal/stats"
+	"twocs/internal/units"
+)
+
+// This file is the Figure 15 validation harness: it compares operator
+// projections against ground-truth execution (the kernel/collective
+// substrate, standing in for the MI210 testbed) across hyperparameter
+// sweeps and reports the geometric-mean and maximum relative errors.
+
+// Point is one sweep sample.
+type Point struct {
+	// X is the swept value (SL, H, or bytes).
+	X float64
+	// Measured is ground truth; Projected is the operator model.
+	Measured  units.Seconds
+	Projected units.Seconds
+}
+
+// Validation is a sweep's accuracy summary.
+type Validation struct {
+	Name       string
+	Points     []Point
+	GeoMeanErr float64
+	MaxErr     float64
+}
+
+func summarize(name string, pts []Point) (Validation, error) {
+	if len(pts) == 0 {
+		return Validation{}, fmt.Errorf("opmodel: empty validation sweep %q", name)
+	}
+	got := make([]float64, len(pts))
+	want := make([]float64, len(pts))
+	for i, p := range pts {
+		got[i] = float64(p.Projected)
+		want[i] = float64(p.Measured)
+	}
+	gm, err := stats.GeoMeanRelErr(got, want)
+	if err != nil {
+		return Validation{}, err
+	}
+	mx, err := stats.MaxRelErr(got, want)
+	if err != nil {
+		return Validation{}, err
+	}
+	return Validation{Name: name, Points: pts, GeoMeanErr: gm, MaxErr: mx}, nil
+}
+
+// findOp locates an operator by name in a layer's iteration at the given
+// config and TP degree.
+func findOp(cfg model.Config, tp int, name string) (model.OpDesc, error) {
+	ops, err := model.LayerOps(cfg, tp)
+	if err != nil {
+		return model.OpDesc{}, err
+	}
+	for _, o := range ops {
+		if o.Name == name {
+			return o, nil
+		}
+	}
+	return model.OpDesc{}, fmt.Errorf("opmodel: operator %q not in layer graph", name)
+}
+
+// ValidateOpSweep sweeps one hyperparameter mutation over the baseline
+// config and compares projection vs ground truth for the named operator.
+// mutate must return the swept config and the x-axis value for each step.
+func ValidateOpSweep(m *Model, truth profile.OpTimer, opName, sweepName string,
+	steps int, mutate func(base model.Config, step int) (model.Config, float64)) (Validation, error) {
+	if truth == nil {
+		return Validation{}, fmt.Errorf("opmodel: nil ground-truth timer")
+	}
+	if steps < 1 {
+		return Validation{}, fmt.Errorf("opmodel: sweep needs at least one step")
+	}
+	base, tp := m.Base()
+	pts := make([]Point, 0, steps)
+	// Steps start at 1: step 0 would reproduce the calibration point
+	// exactly and artificially deflate the error statistics.
+	for s := 1; s <= steps; s++ {
+		cfg, x := mutate(base, s)
+		if err := cfg.ValidateTP(tp); err != nil {
+			return Validation{}, err
+		}
+		op, err := findOp(cfg, tp, opName)
+		if err != nil {
+			return Validation{}, err
+		}
+		measured, err := truth.Time(op)
+		if err != nil {
+			return Validation{}, err
+		}
+		projected, err := m.ProjectOp(op, tp)
+		if err != nil {
+			return Validation{}, err
+		}
+		pts = append(pts, Point{X: x, Measured: measured, Projected: projected})
+	}
+	return summarize(sweepName, pts)
+}
+
+// SweepSL mutates sequence length multiplicatively: SL·2^step.
+func SweepSL(base model.Config, step int) (model.Config, float64) {
+	c := base
+	c.SeqLen = base.SeqLen << step
+	return c, float64(c.SeqLen)
+}
+
+// SweepH mutates layer width multiplicatively: H·2^step (FC and heads
+// follow to keep the architecture proportional).
+func SweepH(base model.Config, step int) (model.Config, float64) {
+	c := base
+	c.Hidden = base.Hidden << step
+	c.FCDim = base.FCDim << step
+	c.Heads = base.Heads << step
+	return c, float64(c.Hidden)
+}
+
+// ValidateAllReduce sweeps reduced data size (Fig 15c) for a fixed group.
+func ValidateAllReduce(m *Model, truth profile.OpTimer, group int, sizes []units.Bytes) (Validation, error) {
+	if truth == nil {
+		return Validation{}, fmt.Errorf("opmodel: nil ground-truth timer")
+	}
+	pts := make([]Point, 0, len(sizes))
+	for _, sz := range sizes {
+		op := model.OpDesc{Kind: model.TPAllReduce, Bytes: sz}
+		measured, err := truth.Time(op)
+		if err != nil {
+			return Validation{}, err
+		}
+		projected, err := m.ProjectAllReduce(sz, group)
+		if err != nil {
+			return Validation{}, err
+		}
+		pts = append(pts, Point{X: float64(sz), Measured: measured, Projected: projected})
+	}
+	return summarize("allreduce-vs-size", pts)
+}

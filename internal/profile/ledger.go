@@ -1,0 +1,97 @@
+package profile
+
+import (
+	"fmt"
+	"sort"
+
+	"twocs/internal/units"
+)
+
+// Ledger accumulates accelerator time spent profiling, the currency of
+// the paper's §4.3.8 cost comparison: the proposed strategy profiles one
+// baseline iteration plus isolated ROIs; the exhaustive alternative
+// executes every studied configuration end-to-end.
+type Ledger struct {
+	entries map[string]units.Seconds
+	order   []string
+}
+
+// NewLedger returns an empty ledger.
+func NewLedger() *Ledger {
+	return &Ledger{entries: make(map[string]units.Seconds)}
+}
+
+// Add charges cost under a named line item (accumulating repeats).
+func (l *Ledger) Add(item string, cost units.Seconds) error {
+	if cost < 0 {
+		return fmt.Errorf("profile: negative cost %v for %q", cost, item)
+	}
+	if _, ok := l.entries[item]; !ok {
+		l.order = append(l.order, item)
+	}
+	l.entries[item] += cost
+	return nil
+}
+
+// Total returns the summed cost.
+func (l *Ledger) Total() units.Seconds {
+	var t units.Seconds
+	for _, c := range l.entries {
+		t += c
+	}
+	return t
+}
+
+// Items returns line items in insertion order.
+func (l *Ledger) Items() []struct {
+	Name string
+	Cost units.Seconds
+} {
+	out := make([]struct {
+		Name string
+		Cost units.Seconds
+	}, 0, len(l.order))
+	for _, n := range l.order {
+		out = append(out, struct {
+			Name string
+			Cost units.Seconds
+		}{n, l.entries[n]})
+	}
+	return out
+}
+
+// TopItems returns the k most expensive line items, descending.
+func (l *Ledger) TopItems(k int) []struct {
+	Name string
+	Cost units.Seconds
+} {
+	items := l.Items()
+	sort.Slice(items, func(i, j int) bool { return items[i].Cost > items[j].Cost })
+	if k < len(items) {
+		items = items[:k]
+	}
+	return items
+}
+
+// SpeedupReport compares two profiling approaches.
+type SpeedupReport struct {
+	Exhaustive units.Seconds
+	Strategy   units.Seconds
+	Speedup    float64
+}
+
+// CompareStrategy computes the cost ratio between exhaustive profiling
+// and the paper's strategy. It errors on a zero-cost strategy, which
+// would indicate nothing was actually profiled.
+func CompareStrategy(exhaustive, strategy *Ledger) (SpeedupReport, error) {
+	s := strategy.Total()
+	if s <= 0 {
+		return SpeedupReport{}, fmt.Errorf("profile: strategy ledger is empty")
+	}
+	e := exhaustive.Total()
+	return SpeedupReport{
+		Exhaustive: e,
+		Strategy:   s,
+		Speedup:    float64(e) / float64(s),
+	}, nil
+}

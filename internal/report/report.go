@@ -1,0 +1,150 @@
+// Package report renders the tables and series the benchmark harness
+// prints — aligned ASCII tables for paper-style rows, CSV for downstream
+// plotting, and compact sparklines for reading a series' shape inline.
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Table is a titled grid of cells.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// NewTable builds a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends one row; short rows are padded with empty cells.
+func (t *Table) AddRow(cells ...string) {
+	row := make([]string, len(t.Headers))
+	copy(row, cells)
+	t.Rows = append(t.Rows, row)
+}
+
+// widths returns per-column display widths.
+func (t *Table) widths() []int {
+	w := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		w[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(w) && len(c) > w[i] {
+				w[i] = len(c)
+			}
+		}
+	}
+	return w
+}
+
+// Render writes the table as aligned ASCII.
+func (t *Table) Render(w io.Writer) error {
+	if t.Title != "" {
+		if _, err := fmt.Fprintf(w, "%s\n", t.Title); err != nil {
+			return err
+		}
+	}
+	ws := t.widths()
+	line := func(cells []string) error {
+		parts := make([]string, len(ws))
+		for i := range ws {
+			c := ""
+			if i < len(cells) {
+				c = cells[i]
+			}
+			parts[i] = fmt.Sprintf("%-*s", ws[i], c)
+		}
+		_, err := fmt.Fprintf(w, "  %s\n", strings.TrimRight(strings.Join(parts, "  "), " "))
+		return err
+	}
+	if err := line(t.Headers); err != nil {
+		return err
+	}
+	seps := make([]string, len(ws))
+	for i, n := range ws {
+		seps[i] = strings.Repeat("-", n)
+	}
+	if err := line(seps); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := line(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RenderCSV writes the table as CSV (simple quoting: cells containing
+// commas or quotes are quoted with doubled quotes).
+func (t *Table) RenderCSV(w io.Writer) error {
+	esc := func(c string) string {
+		if strings.ContainsAny(c, ",\"\n") {
+			return `"` + strings.ReplaceAll(c, `"`, `""`) + `"`
+		}
+		return c
+	}
+	writeRow := func(cells []string) error {
+		out := make([]string, len(cells))
+		for i, c := range cells {
+			out[i] = esc(c)
+		}
+		_, err := fmt.Fprintln(w, strings.Join(out, ","))
+		return err
+	}
+	if err := writeRow(t.Headers); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := writeRow(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// sparkChars are eight vertical bars of increasing fill.
+var sparkChars = []rune("▁▂▃▄▅▆▇█")
+
+// Sparkline renders the shape of ys in one string; NaN/Inf render as '?'.
+// A constant series renders at mid height.
+func Sparkline(ys []float64) string {
+	if len(ys) == 0 {
+		return ""
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, y := range ys {
+		if math.IsNaN(y) || math.IsInf(y, 0) {
+			continue
+		}
+		lo = math.Min(lo, y)
+		hi = math.Max(hi, y)
+	}
+	var b strings.Builder
+	for _, y := range ys {
+		switch {
+		case math.IsNaN(y) || math.IsInf(y, 0):
+			b.WriteRune('?')
+		case hi == lo:
+			b.WriteRune(sparkChars[len(sparkChars)/2])
+		default:
+			idx := int((y - lo) / (hi - lo) * float64(len(sparkChars)-1))
+			b.WriteRune(sparkChars[idx])
+		}
+	}
+	return b.String()
+}
+
+// Pct formats a 0..1 fraction as "47.3".
+func Pct(frac float64) string { return fmt.Sprintf("%.1f", frac*100) }
+
+// F formats a float compactly.
+func F(v float64) string { return fmt.Sprintf("%.4g", v) }

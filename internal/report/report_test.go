@@ -1,0 +1,85 @@
+package report
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tbl := NewTable("Demo", "model", "frac")
+	tbl.AddRow("BERT", "0.12")
+	tbl.AddRow("PaLM-3x", "0.50")
+	var b strings.Builder
+	if err := tbl.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"Demo", "model", "frac", "BERT", "PaLM-3x", "----"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title + header + sep + 2 rows
+		t.Errorf("got %d lines:\n%s", len(lines), out)
+	}
+}
+
+func TestTableShortRowPadded(t *testing.T) {
+	tbl := NewTable("", "a", "b", "c")
+	tbl.AddRow("only")
+	var b strings.Builder
+	if err := tbl.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "only") {
+		t.Error("short row lost")
+	}
+}
+
+func TestRenderCSV(t *testing.T) {
+	tbl := NewTable("x", "name", "note")
+	tbl.AddRow("a", `says "hi", ok`)
+	var b strings.Builder
+	if err := tbl.RenderCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := "name,note\na,\"says \"\"hi\"\", ok\"\n"
+	if b.String() != want {
+		t.Errorf("csv = %q, want %q", b.String(), want)
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	if Sparkline(nil) != "" {
+		t.Error("empty series should render empty")
+	}
+	s := Sparkline([]float64{0, 1, 2, 3})
+	if len([]rune(s)) != 4 {
+		t.Errorf("sparkline runes = %q", s)
+	}
+	rs := []rune(s)
+	if rs[0] != '▁' || rs[3] != '█' {
+		t.Errorf("endpoints = %q", s)
+	}
+	flat := Sparkline([]float64{5, 5, 5})
+	for _, r := range flat {
+		if r != []rune("▁▂▃▄▅▆▇█")[4] {
+			t.Errorf("flat series = %q", flat)
+		}
+	}
+	weird := Sparkline([]float64{1, math.NaN(), 2})
+	if !strings.Contains(weird, "?") {
+		t.Errorf("NaN not marked: %q", weird)
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if Pct(0.473) != "47.3" {
+		t.Errorf("Pct = %q", Pct(0.473))
+	}
+	if F(1234.5) != "1234" && F(1234.5) != "1235" {
+		t.Errorf("F = %q", F(1234.5))
+	}
+}

@@ -1,0 +1,63 @@
+package sim
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// This file exports traces in the Chrome trace-event format, loadable in
+// chrome://tracing or Perfetto — the artifact a performance engineer
+// actually wants from a simulated iteration.
+
+// chromeEvent is one "complete" (ph=X) trace event.
+type chromeEvent struct {
+	Name string `json:"name"`
+	Cat  string `json:"cat"`
+	Ph   string `json:"ph"`
+	// Ts and Dur are microseconds, per the trace-event spec.
+	Ts  float64 `json:"ts"`
+	Dur float64 `json:"dur"`
+	PID int     `json:"pid"`
+	TID int     `json:"tid"`
+}
+
+// chromeMeta is a metadata (ph=M) event naming processes/threads.
+type chromeMeta struct {
+	Name string            `json:"name"`
+	Ph   string            `json:"ph"`
+	PID  int               `json:"pid"`
+	TID  int               `json:"tid"`
+	Args map[string]string `json:"args"`
+}
+
+// WriteChromeTrace writes the trace as a Chrome trace-event JSON array.
+// Devices become processes, streams become threads.
+func (t *Trace) WriteChromeTrace(w io.Writer) error {
+	var events []any
+	seen := make(map[[2]int]bool)
+	for _, s := range t.Spans {
+		key := [2]int{s.Op.Device, int(s.Op.Stream)}
+		if !seen[key] {
+			seen[key] = true
+			events = append(events,
+				chromeMeta{Name: "process_name", Ph: "M", PID: s.Op.Device,
+					Args: map[string]string{"name": fmt.Sprintf("device %d", s.Op.Device)}},
+				chromeMeta{Name: "thread_name", Ph: "M", PID: s.Op.Device,
+					TID:  int(s.Op.Stream),
+					Args: map[string]string{"name": s.Op.Stream.String()}},
+			)
+		}
+		events = append(events, chromeEvent{
+			Name: s.Op.ID,
+			Cat:  s.Op.Label,
+			Ph:   "X",
+			Ts:   float64(s.Start) * 1e6,
+			Dur:  float64(s.Duration()) * 1e6,
+			PID:  s.Op.Device,
+			TID:  int(s.Op.Stream),
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(events)
+}

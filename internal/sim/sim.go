@@ -1,0 +1,283 @@
+// Package sim is a discrete-event execution engine for distributed
+// training schedules. Each device exposes two in-order streams — one for
+// compute kernels, one for communication — matching the GPU-stream
+// execution model distributed frameworks build on: DP gradient all-reduce
+// runs on the comm stream asynchronously with backprop compute (paper
+// Fig 3a), while TP all-reduces serialize against compute through
+// dependencies (Fig 3b).
+//
+// Durations are inputs: the kernels and collective packages price each
+// operation, and the engine resolves ordering, overlap and (optionally)
+// compute/communication interference — the §4.3.7 effect where concurrent
+// compute and communication slow each other down on a shared device.
+package sim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"twocs/internal/units"
+)
+
+// Stream identifies which of a device's two in-order queues an op runs on.
+type Stream int
+
+// The streams of every device. ComputeStream runs kernels; CommStream
+// carries serialized (tensor-parallel) collectives; DPCommStream carries
+// the asynchronous data-parallel gradient collectives so they cannot
+// head-of-line-block the serialized ones — mirroring the separate process
+// groups/streams real frameworks dedicate to each.
+const (
+	ComputeStream Stream = iota
+	CommStream
+	DPCommStream
+)
+
+// IsComm reports whether the stream carries communication.
+func (s Stream) IsComm() bool { return s == CommStream || s == DPCommStream }
+
+// String names the stream.
+func (s Stream) String() string {
+	switch s {
+	case ComputeStream:
+		return "compute"
+	case CommStream:
+		return "comm"
+	case DPCommStream:
+		return "dp-comm"
+	default:
+		return fmt.Sprintf("Stream(%d)", int(s))
+	}
+}
+
+// Op is one schedulable unit of work.
+type Op struct {
+	// ID must be unique within a schedule.
+	ID string
+	// Device is the executing device index (>=0).
+	Device int
+	// Stream selects the device queue.
+	Stream Stream
+	// Duration is the op's standalone execution time.
+	Duration units.Seconds
+	// Deps lists op IDs that must complete before this op starts.
+	Deps []string
+	// Label is a free-form grouping tag ("fwd-gemm", "tp-allreduce",
+	// "dp-allreduce", ...) used by breakdowns.
+	Label string
+}
+
+// Span records one executed op.
+type Span struct {
+	Op    Op
+	Start units.Seconds
+	End   units.Seconds
+}
+
+// Duration returns the executed (possibly interference-stretched) time.
+func (s Span) Duration() units.Seconds { return s.End - s.Start }
+
+// Config tunes the engine.
+type Config struct {
+	// InterferenceSlowdown stretches compute and comm that execute
+	// concurrently on one device: while both streams are busy, each
+	// progresses at 1/InterferenceSlowdown of its standalone rate.
+	// 1 (or 0) means no interference.
+	InterferenceSlowdown float64
+}
+
+// Trace is the result of running a schedule.
+type Trace struct {
+	Spans []Span
+	// Makespan is the completion time of the last op.
+	Makespan units.Seconds
+}
+
+// Run executes the schedule and returns its trace. Ops on one stream run
+// in slice order (in-order streams); an op whose dependencies are not yet
+// complete blocks its stream. Run fails on duplicate IDs, unknown
+// dependencies, or deadlock (circular waits).
+func Run(ops []Op, cfg Config) (*Trace, error) {
+	if len(ops) == 0 {
+		return &Trace{}, nil
+	}
+	slow := cfg.InterferenceSlowdown
+	if slow < 1 {
+		slow = 1
+	}
+
+	type opState struct {
+		op        Op
+		remaining float64
+		started   bool
+		startAt   float64
+		done      bool
+		endAt     float64
+	}
+	states := make([]*opState, len(ops))
+	byID := make(map[string]*opState, len(ops))
+	for i, op := range ops {
+		if op.ID == "" {
+			return nil, fmt.Errorf("sim: op %d has empty ID", i)
+		}
+		if op.Device < 0 {
+			return nil, fmt.Errorf("sim: op %q has negative device", op.ID)
+		}
+		if op.Duration < 0 || math.IsNaN(float64(op.Duration)) || math.IsInf(float64(op.Duration), 0) {
+			return nil, fmt.Errorf("sim: op %q has invalid duration %v", op.ID, op.Duration)
+		}
+		if _, dup := byID[op.ID]; dup {
+			return nil, fmt.Errorf("sim: duplicate op ID %q", op.ID)
+		}
+		st := &opState{op: op, remaining: float64(op.Duration)}
+		states[i] = st
+		byID[op.ID] = st
+	}
+	for _, st := range states {
+		for _, d := range st.op.Deps {
+			if _, ok := byID[d]; !ok {
+				return nil, fmt.Errorf("sim: op %q depends on unknown op %q", st.op.ID, d)
+			}
+		}
+	}
+
+	// Per-(device,stream) FIFO queues in submission order.
+	type queueKey struct {
+		dev    int
+		stream Stream
+	}
+	queues := make(map[queueKey][]*opState)
+	var keys []queueKey
+	for _, st := range states {
+		k := queueKey{st.op.Device, st.op.Stream}
+		if _, ok := queues[k]; !ok {
+			keys = append(keys, k)
+		}
+		queues[k] = append(queues[k], st)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].dev != keys[j].dev {
+			return keys[i].dev < keys[j].dev
+		}
+		return keys[i].stream < keys[j].stream
+	})
+
+	depsDone := func(st *opState) bool {
+		for _, d := range st.op.Deps {
+			if !byID[d].done {
+				return false
+			}
+		}
+		return true
+	}
+
+	running := make(map[queueKey]*opState)
+	now := 0.0
+	remainingOps := len(states)
+
+	// rate returns the progress rate of the op running on key k given
+	// the current running set: compute interferes with any concurrent
+	// communication on the same device and vice versa.
+	rate := func(k queueKey) float64 {
+		if slow <= 1 {
+			return 1
+		}
+		if k.stream == ComputeStream {
+			for _, s := range []Stream{CommStream, DPCommStream} {
+				if _, busy := running[queueKey{k.dev, s}]; busy {
+					return 1 / slow
+				}
+			}
+			return 1
+		}
+		if _, busy := running[queueKey{k.dev, ComputeStream}]; busy {
+			return 1 / slow
+		}
+		return 1
+	}
+
+	for remainingOps > 0 {
+		// Start every queue head whose dependencies are complete.
+		progressed := true
+		for progressed {
+			progressed = false
+			for _, k := range keys {
+				if _, busy := running[k]; busy {
+					continue
+				}
+				q := queues[k]
+				if len(q) == 0 {
+					continue
+				}
+				head := q[0]
+				if !depsDone(head) {
+					continue
+				}
+				head.started = true
+				head.startAt = now
+				running[k] = head
+				queues[k] = q[1:]
+				progressed = true
+			}
+		}
+
+		if len(running) == 0 {
+			// Nothing runnable but work remains: circular dependency
+			// (possibly through stream ordering).
+			var stuck []string
+			for _, k := range keys {
+				for _, st := range queues[k] {
+					stuck = append(stuck, st.op.ID)
+				}
+			}
+			sort.Strings(stuck)
+			return nil, fmt.Errorf("sim: deadlock, %d ops blocked: %v", len(stuck), stuck)
+		}
+
+		// Advance to the earliest completion under current rates.
+		dt := math.Inf(1)
+		for k, st := range running {
+			r := rate(k)
+			if need := st.remaining / r; need < dt {
+				dt = need
+			}
+		}
+		if math.IsInf(dt, 1) {
+			// All running ops have zero remaining work; they complete now.
+			dt = 0
+		}
+		for k, st := range running {
+			st.remaining -= dt * rate(k)
+		}
+		now += dt
+		for k, st := range running {
+			if st.remaining <= 1e-18 {
+				st.remaining = 0
+				st.done = true
+				st.endAt = now
+				delete(running, k)
+				remainingOps--
+			}
+		}
+	}
+
+	tr := &Trace{Spans: make([]Span, 0, len(states))}
+	for _, st := range states {
+		tr.Spans = append(tr.Spans, Span{
+			Op:    st.op,
+			Start: units.Seconds(st.startAt),
+			End:   units.Seconds(st.endAt),
+		})
+		if units.Seconds(st.endAt) > tr.Makespan {
+			tr.Makespan = units.Seconds(st.endAt)
+		}
+	}
+	sort.Slice(tr.Spans, func(i, j int) bool {
+		if tr.Spans[i].Start != tr.Spans[j].Start {
+			return tr.Spans[i].Start < tr.Spans[j].Start
+		}
+		return tr.Spans[i].Op.ID < tr.Spans[j].Op.ID
+	})
+	return tr, nil
+}

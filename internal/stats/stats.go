@@ -1,0 +1,258 @@
+// Package stats provides the small numeric toolkit the operator-level
+// models are built on: least-squares fits of the scaling laws identified
+// by the algorithmic analysis (linear, affine, quadratic, power-law),
+// interpolation over measured sweeps, and the error metrics (relative
+// error, geometric-mean error) the paper reports for model validation.
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// ErrInsufficientData is returned by fitting routines that need more
+// observations than were supplied.
+var ErrInsufficientData = errors.New("stats: insufficient data points for fit")
+
+// ErrBadDomain is returned when inputs fall outside a fit's domain
+// (e.g. non-positive values for a power-law fit).
+var ErrBadDomain = errors.New("stats: input outside fit domain")
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// GeoMean returns the geometric mean of xs. All values must be positive;
+// non-positive values yield NaN, matching the undefined mathematical case.
+func GeoMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		if x <= 0 {
+			return math.NaN()
+		}
+		s += math.Log(x)
+	}
+	return math.Exp(s / float64(len(xs)))
+}
+
+// RelErr returns |got-want|/|want|, the relative error metric used for
+// operator-model validation. A zero reference with a nonzero observation
+// is reported as +Inf.
+func RelErr(got, want float64) float64 {
+	if want == 0 {
+		if got == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return math.Abs(got-want) / math.Abs(want)
+}
+
+// GeoMeanRelErr returns the geometric mean of the pointwise relative
+// errors between got and want, the headline accuracy statistic in the
+// paper's Figure 15 ("geomean error of only ~7%"). Errors below 0.01%
+// are clamped to that floor so a single near-exact point cannot collapse
+// the geometric mean.
+func GeoMeanRelErr(got, want []float64) (float64, error) {
+	if len(got) != len(want) || len(got) == 0 {
+		return 0, fmt.Errorf("%w: len(got)=%d len(want)=%d", ErrInsufficientData, len(got), len(want))
+	}
+	const floor = 1e-4
+	errsv := make([]float64, len(got))
+	for i := range got {
+		e := RelErr(got[i], want[i])
+		if e < floor {
+			e = floor
+		}
+		errsv[i] = e
+	}
+	return GeoMean(errsv), nil
+}
+
+// MaxRelErr returns the maximum pointwise relative error.
+func MaxRelErr(got, want []float64) (float64, error) {
+	if len(got) != len(want) || len(got) == 0 {
+		return 0, fmt.Errorf("%w: len(got)=%d len(want)=%d", ErrInsufficientData, len(got), len(want))
+	}
+	m := 0.0
+	for i := range got {
+		if e := RelErr(got[i], want[i]); e > m {
+			m = e
+		}
+	}
+	return m, nil
+}
+
+// Linear is a proportional fit y = Slope*x, the form the operator model
+// uses for quantities the algorithmic analysis proves pass through the
+// origin (e.g. all-reduce time vs bytes in the bandwidth-bound regime).
+type Linear struct {
+	Slope float64
+}
+
+// FitLinear computes the least-squares proportional fit through the origin.
+func FitLinear(xs, ys []float64) (Linear, error) {
+	if len(xs) != len(ys) || len(xs) == 0 {
+		return Linear{}, ErrInsufficientData
+	}
+	var sxx, sxy float64
+	for i := range xs {
+		sxx += xs[i] * xs[i]
+		sxy += xs[i] * ys[i]
+	}
+	if sxx == 0 {
+		return Linear{}, fmt.Errorf("%w: all x are zero", ErrBadDomain)
+	}
+	return Linear{Slope: sxy / sxx}, nil
+}
+
+// Eval returns Slope*x.
+func (l Linear) Eval(x float64) float64 { return l.Slope * x }
+
+// Affine is a fit y = Slope*x + Intercept. The intercept absorbs
+// size-independent costs such as kernel-launch overhead and per-hop
+// network latency.
+type Affine struct {
+	Slope, Intercept float64
+}
+
+// FitAffine computes the ordinary least-squares line.
+func FitAffine(xs, ys []float64) (Affine, error) {
+	n := float64(len(xs))
+	if len(xs) != len(ys) || len(xs) < 2 {
+		return Affine{}, ErrInsufficientData
+	}
+	var sx, sy, sxx, sxy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+		sxx += xs[i] * xs[i]
+		sxy += xs[i] * ys[i]
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return Affine{}, fmt.Errorf("%w: degenerate x values", ErrBadDomain)
+	}
+	slope := (n*sxy - sx*sy) / den
+	return Affine{Slope: slope, Intercept: (sy - slope*sx) / n}, nil
+}
+
+// Eval returns Slope*x + Intercept.
+func (a Affine) Eval(x float64) float64 { return a.Slope*x + a.Intercept }
+
+// PowerLaw is a fit y = Coeff * x^Exponent, fit in log-log space. It is
+// used where the scaling exponent itself is the question (e.g. verifying
+// that GEMM runtime grows quadratically in H).
+type PowerLaw struct {
+	Coeff, Exponent float64
+}
+
+// FitPowerLaw fits y = c*x^p by linear regression on (ln x, ln y).
+// All observations must be strictly positive.
+func FitPowerLaw(xs, ys []float64) (PowerLaw, error) {
+	if len(xs) != len(ys) || len(xs) < 2 {
+		return PowerLaw{}, ErrInsufficientData
+	}
+	lx := make([]float64, len(xs))
+	ly := make([]float64, len(ys))
+	for i := range xs {
+		if xs[i] <= 0 || ys[i] <= 0 {
+			return PowerLaw{}, fmt.Errorf("%w: power-law fit requires positive data", ErrBadDomain)
+		}
+		lx[i] = math.Log(xs[i])
+		ly[i] = math.Log(ys[i])
+	}
+	a, err := FitAffine(lx, ly)
+	if err != nil {
+		return PowerLaw{}, err
+	}
+	return PowerLaw{Coeff: math.Exp(a.Intercept), Exponent: a.Slope}, nil
+}
+
+// Eval returns Coeff * x^Exponent.
+func (p PowerLaw) Eval(x float64) float64 { return p.Coeff * math.Pow(x, p.Exponent) }
+
+// Interpolator performs monotone piecewise-linear interpolation over a
+// measured sweep, with linear extrapolation beyond the endpoints. The
+// operator model uses it to carry measured efficiency curves (which have
+// no simple closed form) into projections.
+type Interpolator struct {
+	xs, ys []float64
+}
+
+// NewInterpolator builds an interpolator over the given points, which are
+// sorted by x. At least one point is required; duplicate x values are an
+// error because they make the function multivalued.
+func NewInterpolator(xs, ys []float64) (*Interpolator, error) {
+	if len(xs) != len(ys) || len(xs) == 0 {
+		return nil, ErrInsufficientData
+	}
+	type pt struct{ x, y float64 }
+	pts := make([]pt, len(xs))
+	for i := range xs {
+		pts[i] = pt{xs[i], ys[i]}
+	}
+	sort.Slice(pts, func(i, j int) bool { return pts[i].x < pts[j].x })
+	in := &Interpolator{xs: make([]float64, len(pts)), ys: make([]float64, len(pts))}
+	for i, p := range pts {
+		if i > 0 && p.x == pts[i-1].x {
+			return nil, fmt.Errorf("%w: duplicate x=%g", ErrBadDomain, p.x)
+		}
+		in.xs[i], in.ys[i] = p.x, p.y
+	}
+	return in, nil
+}
+
+// Eval evaluates the interpolant at x. Outside the data range the nearest
+// segment is extended linearly (or the single point's y is returned when
+// only one point exists).
+func (in *Interpolator) Eval(x float64) float64 {
+	n := len(in.xs)
+	if n == 1 {
+		return in.ys[0]
+	}
+	// Locate the segment: first index with xs[i] >= x.
+	i := sort.SearchFloat64s(in.xs, x)
+	switch {
+	case i == 0:
+		i = 1
+	case i >= n:
+		i = n - 1
+	}
+	x0, x1 := in.xs[i-1], in.xs[i]
+	y0, y1 := in.ys[i-1], in.ys[i]
+	t := (x - x0) / (x1 - x0)
+	return y0 + t*(y1-y0)
+}
+
+// Domain returns the [min,max] x range covered by measured points.
+func (in *Interpolator) Domain() (lo, hi float64) { return in.xs[0], in.xs[len(in.xs)-1] }
+
+// Normalize returns xs scaled so the element at index ref equals 1.
+// It is used to produce the paper's "normalized to BERT" figures.
+func Normalize(xs []float64, ref int) ([]float64, error) {
+	if ref < 0 || ref >= len(xs) {
+		return nil, fmt.Errorf("stats: reference index %d out of range [0,%d)", ref, len(xs))
+	}
+	if xs[ref] == 0 {
+		return nil, fmt.Errorf("%w: reference value is zero", ErrBadDomain)
+	}
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		out[i] = x / xs[ref]
+	}
+	return out, nil
+}

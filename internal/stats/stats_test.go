@@ -1,0 +1,262 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol*math.Max(1, math.Abs(b)) }
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("Mean(nil) != 0")
+	}
+	if got := Mean([]float64{1, 2, 3}); got != 2 {
+		t.Errorf("Mean = %v", got)
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if got := GeoMean([]float64{1, 100}); !almostEq(got, 10, 1e-12) {
+		t.Errorf("GeoMean(1,100) = %v, want 10", got)
+	}
+	if !math.IsNaN(GeoMean([]float64{1, -1})) {
+		t.Error("GeoMean with negative input must be NaN")
+	}
+	if GeoMean(nil) != 0 {
+		t.Error("GeoMean(nil) != 0")
+	}
+}
+
+func TestRelErr(t *testing.T) {
+	if got := RelErr(110, 100); !almostEq(got, 0.1, 1e-12) {
+		t.Errorf("RelErr = %v", got)
+	}
+	if RelErr(0, 0) != 0 {
+		t.Error("RelErr(0,0) != 0")
+	}
+	if !math.IsInf(RelErr(1, 0), 1) {
+		t.Error("RelErr(1,0) must be +Inf")
+	}
+}
+
+func TestGeoMeanRelErr(t *testing.T) {
+	got := []float64{110, 90}
+	want := []float64{100, 100}
+	e, err := GeoMeanRelErr(got, want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(e, 0.1, 1e-9) {
+		t.Errorf("GeoMeanRelErr = %v, want 0.1", e)
+	}
+	if _, err := GeoMeanRelErr(nil, nil); err == nil {
+		t.Error("expected error on empty input")
+	}
+}
+
+func TestMaxRelErr(t *testing.T) {
+	e, err := MaxRelErr([]float64{110, 150}, []float64{100, 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(e, 0.5, 1e-12) {
+		t.Errorf("MaxRelErr = %v", e)
+	}
+}
+
+func TestFitLinearExact(t *testing.T) {
+	l, err := FitLinear([]float64{1, 2, 3}, []float64{2, 4, 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(l.Slope, 2, 1e-12) {
+		t.Errorf("Slope = %v", l.Slope)
+	}
+	if !almostEq(l.Eval(10), 20, 1e-12) {
+		t.Errorf("Eval = %v", l.Eval(10))
+	}
+}
+
+func TestFitLinearErrors(t *testing.T) {
+	if _, err := FitLinear(nil, nil); !errors.Is(err, ErrInsufficientData) {
+		t.Errorf("err = %v", err)
+	}
+	if _, err := FitLinear([]float64{0, 0}, []float64{1, 2}); !errors.Is(err, ErrBadDomain) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestFitAffineExact(t *testing.T) {
+	a, err := FitAffine([]float64{0, 1, 2}, []float64{3, 5, 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(a.Slope, 2, 1e-12) || !almostEq(a.Intercept, 3, 1e-12) {
+		t.Errorf("fit = %+v", a)
+	}
+}
+
+func TestFitAffineErrors(t *testing.T) {
+	if _, err := FitAffine([]float64{1}, []float64{1}); !errors.Is(err, ErrInsufficientData) {
+		t.Errorf("err = %v", err)
+	}
+	if _, err := FitAffine([]float64{2, 2}, []float64{1, 5}); !errors.Is(err, ErrBadDomain) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestFitPowerLawExact(t *testing.T) {
+	// y = 3 x^2
+	xs := []float64{1, 2, 4, 8}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 3 * x * x
+	}
+	p, err := FitPowerLaw(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(p.Exponent, 2, 1e-9) || !almostEq(p.Coeff, 3, 1e-9) {
+		t.Errorf("fit = %+v", p)
+	}
+}
+
+func TestFitPowerLawDomain(t *testing.T) {
+	if _, err := FitPowerLaw([]float64{1, -2}, []float64{1, 2}); !errors.Is(err, ErrBadDomain) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestInterpolator(t *testing.T) {
+	in, err := NewInterpolator([]float64{0, 10}, []float64{0, 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := in.Eval(5); !almostEq(got, 50, 1e-12) {
+		t.Errorf("Eval(5) = %v", got)
+	}
+	// Extrapolation continues the end segments.
+	if got := in.Eval(20); !almostEq(got, 200, 1e-12) {
+		t.Errorf("Eval(20) = %v", got)
+	}
+	if got := in.Eval(-10); !almostEq(got, -100, 1e-12) {
+		t.Errorf("Eval(-10) = %v", got)
+	}
+	lo, hi := in.Domain()
+	if lo != 0 || hi != 10 {
+		t.Errorf("Domain = %v,%v", lo, hi)
+	}
+}
+
+func TestInterpolatorSortsInput(t *testing.T) {
+	in, err := NewInterpolator([]float64{10, 0}, []float64{100, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := in.Eval(5); !almostEq(got, 50, 1e-12) {
+		t.Errorf("Eval(5) = %v", got)
+	}
+}
+
+func TestInterpolatorErrors(t *testing.T) {
+	if _, err := NewInterpolator(nil, nil); !errors.Is(err, ErrInsufficientData) {
+		t.Errorf("err = %v", err)
+	}
+	if _, err := NewInterpolator([]float64{1, 1}, []float64{1, 2}); !errors.Is(err, ErrBadDomain) {
+		t.Errorf("duplicate x err = %v", err)
+	}
+}
+
+func TestInterpolatorSinglePoint(t *testing.T) {
+	in, err := NewInterpolator([]float64{3}, []float64{7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.Eval(-100) != 7 || in.Eval(100) != 7 {
+		t.Error("single-point interpolator must be constant")
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	out, err := Normalize([]float64{2, 4, 8}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0] != 1 || out[1] != 2 || out[2] != 4 {
+		t.Errorf("Normalize = %v", out)
+	}
+	if _, err := Normalize([]float64{0, 1}, 0); err == nil {
+		t.Error("expected zero-reference error")
+	}
+	if _, err := Normalize([]float64{1}, 5); err == nil {
+		t.Error("expected range error")
+	}
+}
+
+// Property: FitAffine recovers arbitrary lines exactly (up to numerics)
+// from noiseless samples.
+func TestFitAffineRecoveryProperty(t *testing.T) {
+	f := func(slope, intercept float64) bool {
+		if math.Abs(slope) > 1e6 || math.Abs(intercept) > 1e6 {
+			return true
+		}
+		xs := []float64{-2, -1, 0, 1, 2, 5}
+		ys := make([]float64, len(xs))
+		for i, x := range xs {
+			ys[i] = slope*x + intercept
+		}
+		a, err := FitAffine(xs, ys)
+		if err != nil {
+			return false
+		}
+		return almostEq(a.Slope, slope, 1e-6) && almostEq(a.Intercept, intercept, 1e-6)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: interpolation at the sample points reproduces the samples.
+func TestInterpolatorPassesThroughPoints(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 100; trial++ {
+		n := 2 + rng.Intn(10)
+		xs := make([]float64, n)
+		ys := make([]float64, n)
+		for i := range xs {
+			xs[i] = float64(i) + rng.Float64()*0.5
+			ys[i] = rng.NormFloat64() * 100
+		}
+		in, err := NewInterpolator(xs, ys)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range xs {
+			if got := in.Eval(xs[i]); !almostEq(got, ys[i], 1e-9) {
+				t.Fatalf("trial %d: Eval(%v) = %v, want %v", trial, xs[i], got, ys[i])
+			}
+		}
+	}
+}
+
+// Property: GeoMean is scale-equivariant: GeoMean(k*xs) = k*GeoMean(xs).
+func TestGeoMeanScaleProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		xs := make([]float64, 5)
+		scaled := make([]float64, 5)
+		k := 1 + rng.Float64()*10
+		for i := range xs {
+			xs[i] = 0.1 + rng.Float64()*100
+			scaled[i] = k * xs[i]
+		}
+		return almostEq(GeoMean(scaled), k*GeoMean(xs), 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,99 @@
+package tensor
+
+import "fmt"
+
+// This file holds a tiny numeric reference implementation used by tests to
+// validate the analytical FLOP- and byte-count formulas against an actual
+// computation: an instrumented naive GEMM and LayerNorm that count every
+// multiply and add they perform.
+
+// OpCounter tallies arithmetic performed by the reference kernels.
+type OpCounter struct {
+	Mults float64
+	Adds  float64
+}
+
+// Total returns multiplies plus adds, comparable to MatMul.FLOPs.
+func (c OpCounter) Total() float64 { return c.Mults + c.Adds }
+
+// RefGEMM computes C = A×B for row-major A (m×k) and B (k×n), counting
+// operations into ctr. It uses the textbook inner product with a running
+// accumulator: per output element, k multiplies and k adds (the first add
+// is into a zero accumulator, matching the 2·M·N·K convention).
+func RefGEMM(m, n, k int, a, b []float64, ctr *OpCounter) ([]float64, error) {
+	if m <= 0 || n <= 0 || k <= 0 {
+		return nil, fmt.Errorf("tensor: invalid GEMM dims m=%d n=%d k=%d", m, n, k)
+	}
+	if len(a) != m*k || len(b) != k*n {
+		return nil, fmt.Errorf("tensor: operand sizes %d,%d do not match dims", len(a), len(b))
+	}
+	c := make([]float64, m*n)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			acc := 0.0
+			for p := 0; p < k; p++ {
+				acc += a[i*k+p] * b[p*n+j]
+				ctr.Mults++
+				ctr.Adds++
+			}
+			c[i*n+j] = acc
+		}
+	}
+	return c, nil
+}
+
+// RefLayerNorm normalizes each row of x (rows×width) to zero mean and unit
+// variance, counting operations. The operation count establishes that
+// LayerNorm work is linear in rows*width, the scaling law the operator
+// model assumes (paper Fig 15b).
+func RefLayerNorm(rows, width int, x []float64, ctr *OpCounter) ([]float64, error) {
+	if rows <= 0 || width <= 0 {
+		return nil, fmt.Errorf("tensor: invalid LayerNorm dims rows=%d width=%d", rows, width)
+	}
+	if len(x) != rows*width {
+		return nil, fmt.Errorf("tensor: input size %d does not match dims", len(x))
+	}
+	const eps = 1e-5
+	out := make([]float64, len(x))
+	for r := 0; r < rows; r++ {
+		row := x[r*width : (r+1)*width]
+		mean := 0.0
+		for _, v := range row {
+			mean += v
+			ctr.Adds++
+		}
+		mean /= float64(width)
+		ctr.Mults++ // the division
+		varsum := 0.0
+		for _, v := range row {
+			d := v - mean
+			varsum += d * d
+			ctr.Adds += 2
+			ctr.Mults++
+		}
+		varsum /= float64(width)
+		ctr.Mults++
+		inv := 1 / sqrt(varsum+eps)
+		ctr.Adds++
+		ctr.Mults++
+		for i, v := range row {
+			out[r*width+i] = (v - mean) * inv
+			ctr.Adds++
+			ctr.Mults++
+		}
+	}
+	return out, nil
+}
+
+// sqrt avoids importing math for a single call site; Newton iterations on
+// a float64 converge in a handful of steps for the magnitudes seen here.
+func sqrt(v float64) float64 {
+	if v <= 0 {
+		return 0
+	}
+	z := v
+	for i := 0; i < 32; i++ {
+		z = 0.5 * (z + v/z)
+	}
+	return z
+}

@@ -1,0 +1,171 @@
+// Package units provides quantities and formatting for the magnitudes that
+// appear throughout the Comp-vs-Comm analysis: floating-point operation
+// counts (FLOPs), data volumes (bytes), rates (FLOP/s, B/s) and durations.
+//
+// All quantities are float64 underneath. Transformer-scale arithmetic
+// routinely exceeds 1e20 operations per iteration, which overflows int64;
+// float64 keeps 15-16 significant digits, far beyond the fidelity of any
+// performance model in this repository.
+package units
+
+import (
+	"fmt"
+	"math"
+)
+
+// FLOPs counts floating-point operations (one multiply or one add each).
+type FLOPs float64
+
+// Bytes counts a data volume.
+type Bytes float64
+
+// FLOPSRate is a compute throughput in FLOP per second.
+type FLOPSRate float64
+
+// ByteRate is a bandwidth in bytes per second.
+type ByteRate float64
+
+// Seconds is a duration. We deliberately do not use time.Duration: its
+// int64 nanosecond representation cannot express the sub-nanosecond and
+// multi-year magnitudes that show up when sweeping hardware-evolution
+// scenarios, and arithmetic on modelled times is clearer on a float.
+type Seconds float64
+
+// Common scale factors.
+const (
+	Kilo = 1e3
+	Mega = 1e6
+	Giga = 1e9
+	Tera = 1e12
+	Peta = 1e15
+	Exa  = 1e18
+
+	KiB = 1 << 10
+	MiB = 1 << 20
+	GiB = 1 << 30
+	TiB = 1 << 40
+)
+
+// Time convenience constants.
+const (
+	Nanosecond  Seconds = 1e-9
+	Microsecond Seconds = 1e-6
+	Millisecond Seconds = 1e-3
+	Second      Seconds = 1
+	Minute      Seconds = 60
+	Hour        Seconds = 3600
+)
+
+// TFLOPS constructs a compute rate from a teraFLOP/s figure, the customary
+// unit on accelerator datasheets.
+func TFLOPS(v float64) FLOPSRate { return FLOPSRate(v * Tera) }
+
+// GBps constructs a bandwidth from a GB/s figure (decimal gigabytes, the
+// customary interconnect unit).
+func GBps(v float64) ByteRate { return ByteRate(v * Giga) }
+
+// GiBCapacity converts a GiB count to bytes, the customary memory unit.
+func GiBCapacity(v float64) Bytes { return Bytes(v * GiB) }
+
+// Div returns the time to execute f at rate r. It returns +Inf for a zero
+// or negative rate so degenerate hardware descriptions surface loudly in
+// results rather than as silent zeros.
+func (f FLOPs) Div(r FLOPSRate) Seconds {
+	if r <= 0 {
+		return Seconds(math.Inf(1))
+	}
+	return Seconds(float64(f) / float64(r))
+}
+
+// Div returns the time to transfer b at rate r, +Inf for non-positive rates.
+func (b Bytes) Div(r ByteRate) Seconds {
+	if r <= 0 {
+		return Seconds(math.Inf(1))
+	}
+	return Seconds(float64(b) / float64(r))
+}
+
+// siPrefix returns the 1000-based prefix and scaled value for v.
+func siPrefix(v float64) (float64, string) {
+	abs := math.Abs(v)
+	switch {
+	case abs >= Exa:
+		return v / Exa, "E"
+	case abs >= Peta:
+		return v / Peta, "P"
+	case abs >= Tera:
+		return v / Tera, "T"
+	case abs >= Giga:
+		return v / Giga, "G"
+	case abs >= Mega:
+		return v / Mega, "M"
+	case abs >= Kilo:
+		return v / Kilo, "K"
+	default:
+		return v, ""
+	}
+}
+
+// String renders FLOPs with an SI prefix, e.g. "312.5 TFLOP".
+func (f FLOPs) String() string {
+	v, p := siPrefix(float64(f))
+	return fmt.Sprintf("%.4g %sFLOP", v, p)
+}
+
+// String renders Bytes with an SI prefix, e.g. "1.573 GB".
+func (b Bytes) String() string {
+	v, p := siPrefix(float64(b))
+	return fmt.Sprintf("%.4g %sB", v, p)
+}
+
+// String renders a compute rate, e.g. "181 TFLOP/s".
+func (r FLOPSRate) String() string {
+	v, p := siPrefix(float64(r))
+	return fmt.Sprintf("%.4g %sFLOP/s", v, p)
+}
+
+// String renders a bandwidth, e.g. "100 GB/s".
+func (r ByteRate) String() string {
+	v, p := siPrefix(float64(r))
+	return fmt.Sprintf("%.4g %sB/s", v, p)
+}
+
+// String renders a duration with an appropriate sub-second or
+// minutes/hours unit, e.g. "412.7 us", "1.2 s", "3.4 h".
+func (s Seconds) String() string {
+	v := float64(s)
+	abs := math.Abs(v)
+	switch {
+	case math.IsInf(v, 0) || math.IsNaN(v):
+		return fmt.Sprintf("%v s", v)
+	case abs == 0:
+		return "0 s"
+	case abs < 1e-6:
+		return fmt.Sprintf("%.4g ns", v*1e9)
+	case abs < 1e-3:
+		return fmt.Sprintf("%.4g us", v*1e6)
+	case abs < 1:
+		return fmt.Sprintf("%.4g ms", v*1e3)
+	case abs < Minute.f():
+		return fmt.Sprintf("%.4g s", v)
+	case abs < Hour.f():
+		return fmt.Sprintf("%.4g min", v/60)
+	default:
+		return fmt.Sprintf("%.4g h", v/3600)
+	}
+}
+
+func (s Seconds) f() float64 { return float64(s) }
+
+// Ratio returns a/b, or 0 when b is 0. It is the safe division used when
+// forming comp-vs-comm fractions where an empty denominator means "no
+// such component" rather than an error.
+func Ratio(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}
+
+// Percent renders a 0..1 fraction as a percentage string.
+func Percent(frac float64) string { return fmt.Sprintf("%.1f%%", frac*100) }

@@ -1,0 +1,134 @@
+package units
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestFLOPsDiv(t *testing.T) {
+	tests := []struct {
+		name string
+		f    FLOPs
+		r    FLOPSRate
+		want Seconds
+	}{
+		{"one tera at one tera", FLOPs(Tera), TFLOPS(1), 1},
+		{"half", FLOPs(Tera), TFLOPS(2), 0.5},
+		{"zero work", 0, TFLOPS(1), 0},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.f.Div(tt.r); math.Abs(float64(got-tt.want)) > 1e-15 {
+				t.Errorf("Div = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestDivByZeroRateIsInf(t *testing.T) {
+	if got := FLOPs(1).Div(0); !math.IsInf(float64(got), 1) {
+		t.Errorf("FLOPs.Div(0) = %v, want +Inf", got)
+	}
+	if got := Bytes(1).Div(0); !math.IsInf(float64(got), 1) {
+		t.Errorf("Bytes.Div(0) = %v, want +Inf", got)
+	}
+	if got := FLOPs(1).Div(-5); !math.IsInf(float64(got), 1) {
+		t.Errorf("FLOPs.Div(-5) = %v, want +Inf", got)
+	}
+}
+
+func TestBytesDiv(t *testing.T) {
+	b := Bytes(100 * Giga)
+	if got := b.Div(GBps(100)); math.Abs(float64(got)-1) > 1e-12 {
+		t.Errorf("100GB over 100GB/s = %v, want 1s", got)
+	}
+}
+
+func TestConstructors(t *testing.T) {
+	if TFLOPS(181) != FLOPSRate(181e12) {
+		t.Errorf("TFLOPS(181) = %v", TFLOPS(181))
+	}
+	if GBps(100) != ByteRate(100e9) {
+		t.Errorf("GBps(100) = %v", GBps(100))
+	}
+	if GiBCapacity(64) != Bytes(64*GiB) {
+		t.Errorf("GiBCapacity(64) = %v", GiBCapacity(64))
+	}
+}
+
+func TestStringFormatting(t *testing.T) {
+	tests := []struct {
+		got  string
+		want string
+	}{
+		{FLOPs(312.5 * Tera).String(), "312.5 TFLOP"},
+		{Bytes(1.5 * Giga).String(), "1.5 GB"},
+		{FLOPSRate(181 * Tera).String(), "181 TFLOP/s"},
+		{ByteRate(100 * Giga).String(), "100 GB/s"},
+		{Seconds(0).String(), "0 s"},
+		{Seconds(1e-9).String(), "1 ns"},
+		{Seconds(2.5e-6).String(), "2.5 us"},
+		{Seconds(3e-3).String(), "3 ms"},
+		{Seconds(1.5).String(), "1.5 s"},
+		{Seconds(120).String(), "2 min"},
+		{Seconds(7200).String(), "2 h"},
+	}
+	for _, tt := range tests {
+		if tt.got != tt.want {
+			t.Errorf("got %q, want %q", tt.got, tt.want)
+		}
+	}
+}
+
+func TestSecondsStringNonFinite(t *testing.T) {
+	if s := Seconds(math.Inf(1)).String(); !strings.Contains(s, "Inf") {
+		t.Errorf("Inf duration rendered as %q", s)
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if Ratio(1, 0) != 0 {
+		t.Error("Ratio(x,0) must be 0")
+	}
+	if Ratio(3, 2) != 1.5 {
+		t.Error("Ratio(3,2) != 1.5")
+	}
+}
+
+func TestPercent(t *testing.T) {
+	if got := Percent(0.473); got != "47.3%" {
+		t.Errorf("Percent = %q", got)
+	}
+}
+
+// Property: for positive work and rate, Div is exact inverse scaling —
+// doubling the rate halves the time.
+func TestDivScalingProperty(t *testing.T) {
+	f := func(work, rate float64) bool {
+		work = math.Mod(math.Abs(work), 1e30) + 1
+		rate = math.Mod(math.Abs(rate), 1e18) + 1
+		t1 := FLOPs(work).Div(FLOPSRate(rate))
+		t2 := FLOPs(work).Div(FLOPSRate(2 * rate))
+		return math.Abs(float64(t1)-2*float64(t2)) <= 1e-9*math.Abs(float64(t1))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: SI formatting always contains a unit suffix and never panics
+// across magnitudes.
+func TestStringTotalProperty(t *testing.T) {
+	f := func(v float64) bool {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return true
+		}
+		return strings.HasSuffix(FLOPs(v).String(), "FLOP") &&
+			strings.HasSuffix(Bytes(v).String(), "B")
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
