@@ -473,6 +473,69 @@ func BenchmarkFigure15cAllReduceModel(b *testing.B) {
 	}
 }
 
+// --- Sweep engine ---------------------------------------------------------
+//
+// The grid sweeps run on the internal/parallel worker pool with memoized
+// timer substrates and operator graphs. The Sequential/Parallel pairs
+// measure the same full Table 3 grids at Workers=1 and Workers=4; their
+// outputs are byte-identical (asserted by the equivalence tests in
+// internal/core), so the pairs differ only in scheduling.
+
+// sweepAnalyzer builds a fresh analyzer so per-benchmark worker settings
+// and ledger growth do not leak into the shared one.
+func sweepAnalyzer(b *testing.B, workers int) *twocs.Analyzer {
+	b.Helper()
+	a, err := twocs.NewAnalyzer()
+	if err != nil {
+		b.Fatal(err)
+	}
+	a.Workers = workers
+	return a
+}
+
+func benchSerializedSweep(b *testing.B, workers int) {
+	a := sweepAnalyzer(b, workers)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := a.SerializedSweep(core.Table3Hs(), core.Table3SLs(),
+			core.Table3TPs(), 1, twocs.Today()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSequentialSerializedSweep(b *testing.B) { benchSerializedSweep(b, 1) }
+func BenchmarkParallelSerializedSweep(b *testing.B)   { benchSerializedSweep(b, 4) }
+
+func benchOverlappedSweep(b *testing.B, workers int) {
+	a := sweepAnalyzer(b, workers)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := a.OverlappedSweep(core.Table3Hs(), core.Table3SLs(),
+			16, twocs.Today()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSequentialOverlappedSweep(b *testing.B) { benchOverlappedSweep(b, 1) }
+func BenchmarkParallelOverlappedSweep(b *testing.B)   { benchOverlappedSweep(b, 4) }
+
+func BenchmarkSerializedEvolutionGrid(b *testing.B) {
+	a := sweepAnalyzer(b, 0)
+	evos := []twocs.Evolution{twocs.Today(), twocs.FlopVsBW(2), twocs.FlopVsBW(4)}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := a.SerializedEvolutionGrid(core.Table3Hs(), core.Table3SLs(),
+			core.Table3TPs(), 1, evos); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func relErr(got, want float64) float64 {
 	if want == 0 {
 		return 0

@@ -66,29 +66,14 @@ func profilingSpeedup() (profile.SpeedupReport, float64, error) {
 	if err != nil {
 		return profile.SpeedupReport{}, 0, err
 	}
-	exhaustive := profile.NewLedger()
-	for _, h := range core.Table3Hs() {
-		for _, sl := range core.Table3SLs() {
-			cfg, err := core.FutureConfig(h, sl, 1)
-			if err != nil {
-				return profile.SpeedupReport{}, 0, err
-			}
-			// Layer counts grow with width across real models
-			// (Table 2: 24 layers at H=1K up to ~120 at H=20K).
-			cfg.Layers = layersFor(h)
-			for _, tp := range core.Table3TPs() {
-				if err := cfg.ValidateTP(tp); err != nil {
-					continue
-				}
-				cost, err := a.ExhaustiveIterationCost(cfg, tp)
-				if err != nil {
-					return profile.SpeedupReport{}, 0, err
-				}
-				if err := exhaustive.Add(cfg.Name, cost); err != nil {
-					return profile.SpeedupReport{}, 0, err
-				}
-			}
-		}
+	// Layer counts grow with width across real models (Table 2: 24
+	// layers at H=1K up to ~120 at H=20K); the exhaustive grid prices
+	// every configuration at its representative depth, fanned out over
+	// the sweep engine.
+	exhaustive, err := a.ExhaustiveCostStudy(
+		core.Table3Hs(), core.Table3SLs(), core.Table3TPs(), 1, layersFor)
+	if err != nil {
+		return profile.SpeedupReport{}, 0, err
 	}
 	// The strategy side also executes the overlapped-analysis ROIs
 	// (§4.2.2 step 2a) — OverlappedSweep charges them to the ledger.

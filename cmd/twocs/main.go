@@ -2,7 +2,11 @@
 //
 // Usage:
 //
-//	twocs <subcommand> [flags]
+//	twocs [-workers N] <subcommand> [flags]
+//
+// The global -workers flag bounds the goroutines the grid studies fan
+// out over: 0 (the default) uses every CPU, 1 forces the sequential
+// path. Results are byte-identical at any worker count.
 //
 // Subcommands:
 //
@@ -37,7 +41,22 @@ func main() {
 	}
 }
 
+// workerCount is the global -workers setting consumed by newAnalyzer:
+// 0 selects runtime.NumCPU(), 1 forces sequential sweeps.
+var workerCount int
+
 func run(args []string, w io.Writer) error {
+	global := flag.NewFlagSet("twocs", flag.ContinueOnError)
+	global.IntVar(&workerCount, "workers", 0,
+		"worker goroutines for grid sweeps (0 = all CPUs, 1 = sequential)")
+	global.Usage = usage
+	if err := global.Parse(args); err != nil {
+		if err == flag.ErrHelp {
+			return nil
+		}
+		return err
+	}
+	args = global.Args()
 	if len(args) == 0 {
 		usage()
 		return fmt.Errorf("missing subcommand")
@@ -98,7 +117,10 @@ func run(args []string, w io.Writer) error {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: twocs <subcommand> [flags]
+	fmt.Fprintln(os.Stderr, `usage: twocs [-workers N] <subcommand> [flags]
+
+global flags:
+  -workers N   worker goroutines for grid sweeps (0 = all CPUs, 1 = sequential)
 
 subcommands:
   zoo          Table 2: published-model zoo and parameter counts
@@ -128,13 +150,18 @@ extensions:
 }
 
 // newAnalyzer builds the standard analyzer: BERT baseline at TP=4 on the
-// paper's MI210 node (§4.3.1).
+// paper's MI210 node (§4.3.1), with the global -workers setting applied.
 func newAnalyzer() (*core.Analyzer, error) {
 	e, err := model.LookupZoo("BERT")
 	if err != nil {
 		return nil, err
 	}
-	return core.NewAnalyzer(hw.MI210Cluster(1, 0), e.Config, 4)
+	a, err := core.NewAnalyzer(hw.MI210Cluster(1, 0), e.Config, 4)
+	if err != nil {
+		return nil, err
+	}
+	a.Workers = workerCount
+	return a, nil
 }
 
 func cmdZoo(args []string, w io.Writer) error {

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"sync"
+
 	"twocs/internal/collective"
 	"twocs/internal/dist"
 	"twocs/internal/hw"
@@ -16,10 +18,21 @@ import (
 // operator-level model calibrated from it. Every projection an Analyzer
 // produces costs only the baseline profile — that asymmetry is the
 // paper's 2100× profiling saving, accounted in StrategyLedger.
+//
+// An Analyzer is safe for concurrent use after construction: OpModel and
+// Baseline are immutable, StrategyLedger is internally synchronized, and
+// the memoized timer substrates are built under a mutex. The grid sweeps
+// exploit this by fanning grid points out over Workers goroutines; the
+// Analyzer must not be copied once in use.
 type Analyzer struct {
 	Cluster hw.Cluster
 	BaseCfg model.Config
 	BaseTP  int
+
+	// Workers bounds the goroutines the grid sweeps fan out over:
+	// 0 selects runtime.NumCPU(), 1 forces the sequential path, and
+	// any other positive value is used as given.
+	Workers int
 
 	// OpModel is the calibrated operator-level model.
 	OpModel *opmodel.Model
@@ -28,6 +41,106 @@ type Analyzer struct {
 	// StrategyLedger accumulates the accelerator time this analyzer has
 	// actually spent (baseline profile + any ROIs).
 	StrategyLedger *profile.Ledger
+
+	// mu guards substrates, the memoized per-evolution timer stacks.
+	mu         sync.Mutex
+	substrates map[hw.Evolution]*substrate
+}
+
+// substrate is the immutable, shareable core of a ground-truth timer
+// stack for one (cluster, evolution) pair: the evolved cluster, its
+// kernel calculator, and the intra-node ring collective model. Grid
+// points at the same evolution share one substrate instead of repeating
+// this construction; every component is read-only after construction,
+// so substrates may be used from many goroutines at once.
+type substrate struct {
+	cluster hw.Cluster
+	calc    *kernels.Calculator
+	// ring prices collectives on the intra-node ring — the optimistic
+	// assumption the paper makes throughout its projections (§4.3.2:
+	// communication estimated with intra-node links). TP and DP groups
+	// see the same path, so they share one model.
+	ring *collective.CostModel
+}
+
+// substrateFor builds or reuses the memoized timer stack for one
+// evolution. Keyed by the Evolution value itself (the device is fixed
+// per Analyzer), so Fig 12/13 grids touching three scenarios build
+// exactly three stacks no matter how many thousand points they visit.
+func (a *Analyzer) substrateFor(evo hw.Evolution) (*substrate, error) {
+	if err := evo.Validate(); err != nil {
+		return nil, err
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if s, ok := a.substrates[evo]; ok {
+		return s, nil
+	}
+	s, err := newSubstrate(a.Cluster, evo)
+	if err != nil {
+		return nil, err
+	}
+	if a.substrates == nil {
+		a.substrates = make(map[hw.Evolution]*substrate)
+	}
+	a.substrates[evo] = s
+	return s, nil
+}
+
+func newSubstrate(cluster hw.Cluster, evo hw.Evolution) (*substrate, error) {
+	ec := evo.ApplyCluster(cluster)
+	calc, err := kernels.NewCalculator(ec.Node.Device)
+	if err != nil {
+		return nil, err
+	}
+	intra, err := collective.PathForGroup(ec, ec.Node.Count)
+	if err != nil {
+		return nil, err
+	}
+	ring, err := collective.NewCostModel(intra, collective.Ring)
+	if err != nil {
+		return nil, err
+	}
+	return &substrate{cluster: ec, calc: calc, ring: ring}, nil
+}
+
+// timer assembles a ground-truth dist.Timer for one configuration from
+// the memoized substrate. Only the thin Timer struct is built per call;
+// the calculator and cost models are shared.
+func (s *substrate) timer(cfg model.Config, tp int) (*dist.Timer, error) {
+	if err := cfg.ValidateTP(tp); err != nil {
+		return nil, err
+	}
+	return &dist.Timer{
+		Calc: s.calc, TPModel: s.ring, DPModel: s.ring,
+		TP: tp, DP: s.cluster.Node.Count,
+	}, nil
+}
+
+// timerOn builds a ground-truth dist.Timer for one configuration on an
+// (optionally evolved) cluster, memoizing the stack's immutable
+// components per evolution. The TP collective path is the intra-node
+// ring — the optimistic assumption the paper makes throughout its
+// projections (§4.3.2).
+func (a *Analyzer) timerOn(cfg model.Config, tp int, evo hw.Evolution) (*dist.Timer, error) {
+	s, err := a.substrateFor(evo)
+	if err != nil {
+		return nil, err
+	}
+	return s.timer(cfg, tp)
+}
+
+// buildTimer is the unmemoized construction used before an Analyzer
+// exists (NewAnalyzer profiles the baseline with it).
+func buildTimer(cluster hw.Cluster, cfg model.Config, tp int, evo hw.Evolution) (*dist.Timer, error) {
+	if err := evo.Validate(); err != nil {
+		return nil, err
+	}
+	s, err := newSubstrate(cluster, evo)
+	if err != nil {
+		return nil, err
+	}
+	return s.timer(cfg, tp)
 }
 
 // NewAnalyzer profiles the baseline configuration at baseTP on the
@@ -35,7 +148,7 @@ type Analyzer struct {
 // paper's step "profile training iterations of BERT as a baseline"
 // (§4.3.3): the one expensive measurement everything else scales from.
 func NewAnalyzer(cluster hw.Cluster, baseCfg model.Config, baseTP int) (*Analyzer, error) {
-	timer, err := timerOn(cluster, baseCfg, baseTP, hw.Identity())
+	timer, err := buildTimer(cluster, baseCfg, baseTP, hw.Identity())
 	if err != nil {
 		return nil, err
 	}
@@ -81,44 +194,16 @@ func NewAnalyzer(cluster hw.Cluster, baseCfg model.Config, baseTP int) (*Analyze
 	}, nil
 }
 
-// timerOn builds a ground-truth dist.Timer for one configuration on an
-// (optionally evolved) cluster. The TP collective path is the intra-node
-// ring — the optimistic assumption the paper makes throughout its
-// projections (§4.3.2: communication estimated with intra-node links).
-func timerOn(cluster hw.Cluster, cfg model.Config, tp int, evo hw.Evolution) (*dist.Timer, error) {
-	if err := evo.Validate(); err != nil {
-		return nil, err
-	}
-	ec := evo.ApplyCluster(cluster)
-	calc, err := kernels.NewCalculator(ec.Node.Device)
-	if err != nil {
-		return nil, err
-	}
-	intra, err := collective.PathForGroup(ec, ec.Node.Count)
-	if err != nil {
-		return nil, err
-	}
-	tpModel, err := collective.NewCostModel(intra, collective.Ring)
-	if err != nil {
-		return nil, err
-	}
-	dpModel, err := collective.NewCostModel(intra, collective.Ring)
-	if err != nil {
-		return nil, err
-	}
-	if err := cfg.ValidateTP(tp); err != nil {
-		return nil, err
-	}
-	return &dist.Timer{
-		Calc: calc, TPModel: tpModel, DPModel: dpModel,
-		TP: tp, DP: ec.Node.Count,
-	}, nil
-}
+// workers resolves the analyzer's configured worker count for the sweep
+// engine (see the Workers field).
+func (a *Analyzer) workers() int { return a.Workers }
 
 // GroundTruthTimer exposes the substrate timer for validation harnesses
-// (Figure 15 compares OpModel projections against it).
+// (Figure 15 compares OpModel projections against it). The returned
+// timer shares the memoized substrate; it is read-only and safe for
+// concurrent use.
 func (a *Analyzer) GroundTruthTimer(cfg model.Config, tp int, evo hw.Evolution) (*dist.Timer, error) {
-	return timerOn(a.Cluster, cfg, tp, evo)
+	return a.timerOn(cfg, tp, evo)
 }
 
 // SerializedFraction projects the serialized-communication fraction of a
@@ -135,7 +220,7 @@ func (a *Analyzer) SerializedFraction(cfg model.Config, tp int, evo hw.Evolution
 // (evolved) substrate — the paper likewise measures ROIs directly rather
 // than projecting them — and charges the cost to StrategyLedger.
 func (a *Analyzer) OverlappedPercent(cfg model.Config, tp int, evo hw.Evolution) (float64, error) {
-	timer, err := timerOn(a.Cluster, cfg, tp, evo)
+	timer, err := a.timerOn(cfg, tp, evo)
 	if err != nil {
 		return 0, err
 	}
@@ -154,7 +239,7 @@ func (a *Analyzer) OverlappedPercent(cfg model.Config, tp int, evo hw.Evolution)
 // iteration makespan. Used by the §4.3.8 cost comparison; it does not
 // execute anything beyond pricing the schedule.
 func (a *Analyzer) ExhaustiveIterationCost(cfg model.Config, tp int) (units.Seconds, error) {
-	timer, err := timerOn(a.Cluster, cfg, tp, hw.Identity())
+	timer, err := a.timerOn(cfg, tp, hw.Identity())
 	if err != nil {
 		return 0, err
 	}

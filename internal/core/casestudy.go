@@ -6,8 +6,8 @@ import (
 	"twocs/internal/collective"
 	"twocs/internal/dist"
 	"twocs/internal/hw"
-	"twocs/internal/kernels"
 	"twocs/internal/model"
+	"twocs/internal/parallel"
 	"twocs/internal/units"
 )
 
@@ -62,19 +62,12 @@ func (a *Analyzer) CaseStudy(cfg model.Config, tp, dp int, evo hw.Evolution,
 	if len(scenarios) == 0 {
 		return nil, fmt.Errorf("core: no scenarios")
 	}
-	ec := evo.ApplyCluster(a.Cluster)
-	calc, err := kernels.NewCalculator(ec.Node.Device)
+	sub, err := a.substrateFor(evo)
 	if err != nil {
 		return nil, err
 	}
-	intra, err := collective.PathForGroup(ec, ec.Node.Count)
-	if err != nil {
-		return nil, err
-	}
-	tpModel, err := collective.NewCostModel(intra, collective.Ring)
-	if err != nil {
-		return nil, err
-	}
+	ec := sub.cluster
+	calc, intra, tpModel := sub.calc, sub.ring.Path, sub.ring
 
 	// The case-study plan needs a cluster sized for TP×DP; scenario
 	// paths are built directly, so only validation cares.
@@ -88,16 +81,18 @@ func (a *Analyzer) CaseStudy(cfg model.Config, tp, dp int, evo hw.Evolution,
 		}
 	}
 
-	out := make([]CaseResult, 0, len(scenarios))
-	for _, sc := range scenarios {
+	// Scenarios simulate concurrently under Analyzer.Workers (they share
+	// the memoized substrate) and return in scenario order.
+	return parallel.Map(a.workers(), len(scenarios), func(i int) (CaseResult, error) {
+		sc := scenarios[i]
 		if sc.DPBandwidthFraction <= 0 || sc.Interference < 1 {
-			return nil, fmt.Errorf("core: invalid scenario %+v", sc)
+			return CaseResult{}, fmt.Errorf("core: invalid scenario %+v", sc)
 		}
 		dpPath := intra
 		dpPath.Bandwidth = units.ByteRate(float64(intra.Bandwidth) * sc.DPBandwidthFraction)
 		dpModel, err := collective.NewCostModel(dpPath, collective.Ring)
 		if err != nil {
-			return nil, err
+			return CaseResult{}, err
 		}
 		timer := &dist.Timer{Calc: calc, TPModel: tpModel, DPModel: dpModel, TP: tp, DP: dp}
 		plan := dist.Plan{Model: cfg, TP: tp, DP: dp, Cluster: planCluster, Algo: collective.Ring}
@@ -105,18 +100,17 @@ func (a *Analyzer) CaseStudy(cfg model.Config, tp, dp int, evo hw.Evolution,
 			InterferenceSlowdown: sc.Interference,
 		})
 		if err != nil {
-			return nil, err
+			return CaseResult{}, err
 		}
 		mk := float64(rep.Makespan)
 		hidden := float64(rep.DPCommTime - rep.ExposedDPComm)
-		out = append(out, CaseResult{
+		return CaseResult{
 			Scenario:           sc,
 			Makespan:           rep.Makespan,
 			SerializedCommFrac: units.Ratio(float64(rep.ExposedTPComm), mk),
 			ExposedDPFrac:      units.Ratio(float64(rep.ExposedDPComm), mk),
 			HiddenDPFrac:       units.Ratio(hidden, mk),
 			ComputeFrac:        units.Ratio(float64(rep.ComputeTime), mk),
-		})
-	}
-	return out, nil
+		}, nil
+	})
 }

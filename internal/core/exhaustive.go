@@ -1,0 +1,56 @@
+package core
+
+import (
+	"fmt"
+
+	"twocs/internal/parallel"
+	"twocs/internal/profile"
+	"twocs/internal/units"
+)
+
+// This file runs the exhaustive side of the paper's §4.3.8 cost
+// comparison: pricing an end-to-end profiling run of every Table 3
+// sweep configuration, the alternative the single-baseline strategy
+// avoids. The grid is embarrassingly parallel, so it runs on the sweep
+// engine; the resulting ledger is filled in grid order regardless of
+// worker count, keeping its line items deterministic.
+
+// ExhaustiveCostStudy prices an end-to-end profiling run of every
+// (H × SL × TP) sweep configuration at fixed B. layersFor maps hidden
+// size to a representative depth (real models deepen as they widen,
+// Table 2); nil charges each configuration at its own layer count.
+func (a *Analyzer) ExhaustiveCostStudy(hs, sls, tps []int, b int, layersFor func(h int) int) (*profile.Ledger, error) {
+	tasks, err := enumerateSerialized(hs, sls, tps, b)
+	if err != nil {
+		return nil, err
+	}
+	if len(tasks) == 0 {
+		return nil, fmt.Errorf("core: empty exhaustive sweep")
+	}
+	type priced struct {
+		name string
+		cost units.Seconds
+	}
+	costs, err := parallel.Map(a.workers(), len(tasks), func(i int) (priced, error) {
+		t := tasks[i]
+		cfg := t.cfg
+		if layersFor != nil {
+			cfg.Layers = layersFor(t.h)
+		}
+		c, err := a.ExhaustiveIterationCost(cfg, t.tp)
+		if err != nil {
+			return priced{}, err
+		}
+		return priced{name: cfg.Name, cost: c}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	ledger := profile.NewLedger()
+	for _, p := range costs {
+		if err := ledger.Add(p.name, p.cost); err != nil {
+			return nil, err
+		}
+	}
+	return ledger, nil
+}

@@ -3,7 +3,6 @@ package core
 import (
 	"fmt"
 
-	"twocs/internal/collective"
 	"twocs/internal/hw"
 	"twocs/internal/model"
 	"twocs/internal/opmodel"
@@ -56,15 +55,11 @@ func (a *Analyzer) ProjectMoE(cfg model.Config, tp, experts int, evo hw.Evolutio
 	if err != nil {
 		return MoEProjection{}, err
 	}
-	path, err := collective.PathForGroup(a.Cluster, a.Cluster.Node.Count)
+	sub, err := a.substrateFor(hw.Identity())
 	if err != nil {
 		return MoEProjection{}, err
 	}
-	cm, err := collective.NewCostModel(path, collective.Ring)
-	if err != nil {
-		return MoEProjection{}, err
-	}
-	one, err := cm.AllToAll(experts, cfg.ActivationBytes())
+	one, err := sub.ring.AllToAll(experts, cfg.ActivationBytes())
 	if err != nil {
 		return MoEProjection{}, err
 	}

@@ -6,8 +6,8 @@ import (
 	"twocs/internal/collective"
 	"twocs/internal/dist"
 	"twocs/internal/hw"
-	"twocs/internal/kernels"
 	"twocs/internal/model"
+	"twocs/internal/parallel"
 	"twocs/internal/units"
 )
 
@@ -29,7 +29,9 @@ type ScalingRow struct {
 // doubling of TP trades data-parallel throughput for serialized
 // communication — the system-level consequence of the paper's edge
 // erosion (§2.4: communication "limits throughput scaling with
-// increasing device count").
+// increasing device count"). Feasible splits are simulated concurrently
+// under Analyzer.Workers, sharing the memoized substrate, and returned
+// in ascending-TP order.
 func (a *Analyzer) ScalingStudy(cfg model.Config, devices int, tps []int, evo hw.Evolution) ([]ScalingRow, error) {
 	if devices < 2 {
 		return nil, fmt.Errorf("core: scaling study needs >=2 devices, got %d", devices)
@@ -37,53 +39,57 @@ func (a *Analyzer) ScalingStudy(cfg model.Config, devices int, tps []int, evo hw
 	if len(tps) == 0 {
 		return nil, fmt.Errorf("core: no TP degrees to study")
 	}
-	ec := evo.ApplyCluster(a.Cluster)
-	calc, err := kernels.NewCalculator(ec.Node.Device)
+	sub, err := a.substrateFor(evo)
 	if err != nil {
 		return nil, err
 	}
-	intra, err := collective.PathForGroup(ec, ec.Node.Count)
-	if err != nil {
+	ec := sub.cluster
+	intra := sub.ring.Path
+
+	// Hoist the skip-vs-run decisions: cfg validates once, each TP
+	// candidate only needs the budget and divisibility checks.
+	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	var out []ScalingRow
+	var cands []int
 	for _, tp := range tps {
 		if devices%tp != 0 {
 			continue
 		}
-		dp := devices / tp
-		if dp < 2 || cfg.ValidateTP(tp) != nil {
+		if dp := devices / tp; dp < 2 || !cfg.TPDivides(tp) {
 			continue
 		}
-		tpModel, err := collective.NewCostModel(intra, collective.Ring)
-		if err != nil {
-			return nil, err
+		cands = append(cands, tp)
+	}
+
+	planCluster := ec
+	planCluster.NumNodes = (devices + ec.Node.Count - 1) / ec.Node.Count
+	if planCluster.NumNodes > 1 && !planCluster.InterNode.Valid() {
+		planCluster.InterNode = hw.Link{
+			Bandwidth: units.ByteRate(float64(intra.Bandwidth) / 8),
+			Latency:   5 * units.Microsecond,
 		}
-		dpModel, err := collective.NewCostModel(intra, collective.Ring)
-		if err != nil {
-			return nil, err
-		}
-		timer := &dist.Timer{Calc: calc, TPModel: tpModel, DPModel: dpModel, TP: tp, DP: dp}
-		planCluster := ec
-		planCluster.NumNodes = (devices + ec.Node.Count - 1) / ec.Node.Count
-		if planCluster.NumNodes > 1 && !planCluster.InterNode.Valid() {
-			planCluster.InterNode = hw.Link{
-				Bandwidth: units.ByteRate(float64(intra.Bandwidth) / 8),
-				Latency:   5 * units.Microsecond,
-			}
-		}
+	}
+
+	out, err := parallel.Map(a.workers(), len(cands), func(i int) (ScalingRow, error) {
+		tp := cands[i]
+		dp := devices / tp
+		timer := &dist.Timer{Calc: sub.calc, TPModel: sub.ring, DPModel: sub.ring, TP: tp, DP: dp}
 		plan := dist.Plan{Model: cfg, TP: tp, DP: dp, Cluster: planCluster, Algo: collective.Ring}
 		rep, _, err := dist.RunIteration(plan, timer, dist.ScheduleOptions{})
 		if err != nil {
-			return nil, err
+			return ScalingRow{}, err
 		}
 		tokens := float64(dp) * float64(cfg.Batch) * float64(cfg.SeqLen)
-		out = append(out, ScalingRow{
+		return ScalingRow{
 			TP: tp, DP: dp,
 			Makespan:     rep.Makespan,
 			TokensPerSec: tokens / float64(rep.Makespan),
 			CommFraction: rep.TotalCommFraction(),
-		})
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	if len(out) == 0 {
 		return nil, fmt.Errorf("core: no feasible TP×DP split of %d devices", devices)

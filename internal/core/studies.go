@@ -21,11 +21,11 @@ import (
 // every operator exactly, so it is the right tool for what-if studies
 // that change execution properties (precision, collective algorithm).
 func (a *Analyzer) MeasuredLayerSplit(cfg model.Config, tp int, evo hw.Evolution) (compute, serialized units.Seconds, err error) {
-	timer, err := timerOn(a.Cluster, cfg, tp, evo)
+	timer, err := a.timerOn(cfg, tp, evo)
 	if err != nil {
 		return 0, 0, err
 	}
-	ops, err := model.LayerOps(cfg, tp)
+	ops, err := model.CachedLayerOps(cfg, tp)
 	if err != nil {
 		return 0, 0, err
 	}
@@ -107,13 +107,12 @@ func (a *Analyzer) TechniqueStudy(cfg model.Config, tp int, evo hw.Evolution) ([
 	}
 
 	// PIN: re-price the serialized all-reduces with the in-network
-	// algorithm on the same path.
-	ec := evo.ApplyCluster(a.Cluster)
-	path, err := collective.PathForGroup(ec, ec.Node.Count)
+	// algorithm on the same (memoized) path.
+	sub, err := a.substrateFor(evo)
 	if err != nil {
 		return nil, err
 	}
-	pinModel, err := collective.NewCostModel(path, collective.InNetwork)
+	pinModel, err := collective.NewCostModel(sub.ring.Path, collective.InNetwork)
 	if err != nil {
 		return nil, err
 	}
@@ -164,15 +163,11 @@ func (a *Analyzer) ZeROStudy(cfg model.Config, tp, dp int, evo hw.Evolution) ([]
 	if dp < 2 {
 		return nil, fmt.Errorf("core: ZeRO study needs DP >= 2, got %d", dp)
 	}
-	ec := evo.ApplyCluster(a.Cluster)
-	path, err := collective.PathForGroup(ec, ec.Node.Count)
+	sub, err := a.substrateFor(evo)
 	if err != nil {
 		return nil, err
 	}
-	cm, err := collective.NewCostModel(path, collective.Ring)
-	if err != nil {
-		return nil, err
-	}
+	cm := sub.ring
 	gradBytes, err := model.DPGradientBytes(cfg, tp)
 	if err != nil {
 		return nil, err

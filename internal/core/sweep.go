@@ -5,11 +5,15 @@ import (
 
 	"twocs/internal/hw"
 	"twocs/internal/model"
+	"twocs/internal/parallel"
 	"twocs/internal/tensor"
 )
 
 // This file encodes the paper's Table 3 sweep space and runs the
-// Figure 10-13 grids over it.
+// Figure 10-13 grids over it. All grids execute on the bounded
+// worker-pool sweep engine (internal/parallel): points are evaluated
+// concurrently under Analyzer.Workers but emitted in grid order, so the
+// output is byte-identical to the sequential loop at any worker count.
 
 // Table3Hs returns the hidden-dimension sweep: 1K..64K.
 func Table3Hs() []int { return []int{1024, 2048, 4096, 8192, 16384, 32768, 65536} }
@@ -43,6 +47,39 @@ func FutureConfig(h, sl, b int) (model.Config, error) {
 	return c, nil
 }
 
+// serializedTask is one runnable (configuration, TP) grid point. The
+// configuration is built and validated once per (H, SL) pair — not once
+// per TP degree — and the TP divisibility skip decision is taken during
+// enumeration, so workers only ever see points that will run.
+type serializedTask struct {
+	cfg   model.Config
+	h, sl int
+	tp    int
+}
+
+// enumerateSerialized expands the (H × SL × TP) grid into runnable
+// tasks, hoisting FutureConfig construction and validation out of the
+// inner TP loop. TP degrees that do not divide a configuration are
+// skipped here, as the paper skips its unrealistic configurations.
+func enumerateSerialized(hs, sls, tps []int, b int) ([]serializedTask, error) {
+	tasks := make([]serializedTask, 0, len(hs)*len(sls)*len(tps))
+	for _, h := range hs {
+		for _, sl := range sls {
+			cfg, err := FutureConfig(h, sl, b)
+			if err != nil {
+				return nil, err
+			}
+			for _, tp := range tps {
+				if !cfg.TPDivides(tp) {
+					continue
+				}
+				tasks = append(tasks, serializedTask{cfg: cfg, h: h, sl: sl, tp: tp})
+			}
+		}
+	}
+	return tasks, nil
+}
+
 // SerializedPoint is one Figure 10/12 grid sample.
 type SerializedPoint struct {
 	H, SL, B, TP int
@@ -53,33 +90,69 @@ type SerializedPoint struct {
 
 // SerializedSweep projects the serialized-communication fraction over the
 // (H × SL × TP) grid at fixed B under one hardware scenario — the paper's
-// 196-configuration projection from a single baseline (§4.2.4).
+// 196-configuration projection from a single baseline (§4.2.4). Points
+// are projected concurrently under Analyzer.Workers and returned in grid
+// order.
 func (a *Analyzer) SerializedSweep(hs, sls, tps []int, b int, evo hw.Evolution) ([]SerializedPoint, error) {
-	var out []SerializedPoint
-	for _, h := range hs {
-		for _, sl := range sls {
-			cfg, err := FutureConfig(h, sl, b)
-			if err != nil {
-				return nil, err
-			}
-			for _, tp := range tps {
-				if err := cfg.ValidateTP(tp); err != nil {
-					continue // grid point does not divide; skip as the paper's unrealistic configs are skipped
-				}
-				proj, err := a.SerializedFraction(cfg, tp, evo)
-				if err != nil {
-					return nil, err
-				}
-				out = append(out, SerializedPoint{
-					H: h, SL: sl, B: b, TP: tp,
-					FlopVsBW: evo.FlopVsBW(),
-					Fraction: proj.CommFraction(),
-				})
-			}
+	tasks, err := enumerateSerialized(hs, sls, tps, b)
+	if err != nil {
+		return nil, err
+	}
+	out, err := parallel.Map(a.workers(), len(tasks), func(i int) (SerializedPoint, error) {
+		t := tasks[i]
+		proj, err := a.SerializedFraction(t.cfg, t.tp, evo)
+		if err != nil {
+			return SerializedPoint{}, err
 		}
+		return SerializedPoint{
+			H: t.h, SL: t.sl, B: b, TP: t.tp,
+			FlopVsBW: evo.FlopVsBW(),
+			Fraction: proj.CommFraction(),
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	if len(out) == 0 {
 		return nil, fmt.Errorf("core: empty serialized sweep")
+	}
+	return out, nil
+}
+
+// SerializedEvolutionGrid runs the Figure 12 study: the full serialized
+// sweep at every hardware-evolution scenario, sharing one memoized
+// timer stack per scenario and one operator graph per configuration
+// shape across the whole (evolution × H × SL × TP) space. Results are
+// ordered scenario-major, each scenario's points in grid order.
+func (a *Analyzer) SerializedEvolutionGrid(hs, sls, tps []int, b int, evos []hw.Evolution) ([][]SerializedPoint, error) {
+	if len(evos) == 0 {
+		return nil, fmt.Errorf("core: no evolution scenarios")
+	}
+	tasks, err := enumerateSerialized(hs, sls, tps, b)
+	if err != nil {
+		return nil, err
+	}
+	if len(tasks) == 0 {
+		return nil, fmt.Errorf("core: empty serialized sweep")
+	}
+	flat, err := parallel.Map(a.workers(), len(evos)*len(tasks), func(i int) (SerializedPoint, error) {
+		evo, t := evos[i/len(tasks)], tasks[i%len(tasks)]
+		proj, err := a.SerializedFraction(t.cfg, t.tp, evo)
+		if err != nil {
+			return SerializedPoint{}, err
+		}
+		return SerializedPoint{
+			H: t.h, SL: t.sl, B: b, TP: t.tp,
+			FlopVsBW: evo.FlopVsBW(),
+			Fraction: proj.CommFraction(),
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]SerializedPoint, len(evos))
+	for i := range evos {
+		out[i] = flat[i*len(tasks) : (i+1)*len(tasks)]
 	}
 	return out, nil
 }
@@ -93,32 +166,90 @@ type OverlappedPoint struct {
 	Percent float64
 }
 
-// OverlappedSweep measures ROI overlap percentages over an (H × SL·B)
-// grid at fixed TP under one hardware scenario. B is folded into SL·B by
-// holding B=1 and sweeping SL — the reduction the algorithmic analysis
-// licenses (slack = O(SL·B), §4.2.1).
-func (a *Analyzer) OverlappedSweep(hs, slbs []int, tp int, evo hw.Evolution) ([]OverlappedPoint, error) {
-	var out []OverlappedPoint
+// enumerateOverlapped expands the (H × SL·B) grid at one TP degree,
+// with the same hoisting as enumerateSerialized.
+func enumerateOverlapped(hs, slbs []int, tp int) ([]serializedTask, error) {
+	tasks := make([]serializedTask, 0, len(hs)*len(slbs))
 	for _, h := range hs {
 		for _, slb := range slbs {
 			cfg, err := FutureConfig(h, slb, 1)
 			if err != nil {
 				return nil, err
 			}
-			if err := cfg.ValidateTP(tp); err != nil {
+			if !cfg.TPDivides(tp) {
 				continue
 			}
-			pct, err := a.OverlappedPercent(cfg, tp, evo)
-			if err != nil {
-				return nil, err
-			}
-			out = append(out, OverlappedPoint{
-				H: h, SLB: slb, FlopVsBW: evo.FlopVsBW(), Percent: pct,
-			})
+			tasks = append(tasks, serializedTask{cfg: cfg, h: h, sl: slb, tp: tp})
 		}
+	}
+	return tasks, nil
+}
+
+// OverlappedSweep measures ROI overlap percentages over an (H × SL·B)
+// grid at fixed TP under one hardware scenario. B is folded into SL·B by
+// holding B=1 and sweeping SL — the reduction the algorithmic analysis
+// licenses (slack = O(SL·B), §4.2.1). ROIs execute concurrently under
+// Analyzer.Workers; the ledger totals are order-independent, and the
+// returned points are in grid order.
+func (a *Analyzer) OverlappedSweep(hs, slbs []int, tp int, evo hw.Evolution) ([]OverlappedPoint, error) {
+	tasks, err := enumerateOverlapped(hs, slbs, tp)
+	if err != nil {
+		return nil, err
+	}
+	out, err := a.overlappedPoints(tasks, evo)
+	if err != nil {
+		return nil, err
 	}
 	if len(out) == 0 {
 		return nil, fmt.Errorf("core: empty overlapped sweep")
+	}
+	return out, nil
+}
+
+func (a *Analyzer) overlappedPoints(tasks []serializedTask, evo hw.Evolution) ([]OverlappedPoint, error) {
+	return parallel.Map(a.workers(), len(tasks), func(i int) (OverlappedPoint, error) {
+		t := tasks[i]
+		pct, err := a.OverlappedPercent(t.cfg, t.tp, evo)
+		if err != nil {
+			return OverlappedPoint{}, err
+		}
+		return OverlappedPoint{
+			H: t.h, SLB: t.sl, FlopVsBW: evo.FlopVsBW(), Percent: pct,
+		}, nil
+	})
+}
+
+// OverlappedEvolutionGrid runs the Figure 13 study: the overlapped
+// sweep at every hardware-evolution scenario. Each scenario's ROIs
+// execute on its memoized substrate; results are ordered scenario-major,
+// each scenario's points in grid order.
+func (a *Analyzer) OverlappedEvolutionGrid(hs, slbs []int, tp int, evos []hw.Evolution) ([][]OverlappedPoint, error) {
+	if len(evos) == 0 {
+		return nil, fmt.Errorf("core: no evolution scenarios")
+	}
+	tasks, err := enumerateOverlapped(hs, slbs, tp)
+	if err != nil {
+		return nil, err
+	}
+	if len(tasks) == 0 {
+		return nil, fmt.Errorf("core: empty overlapped sweep")
+	}
+	flat, err := parallel.Map(a.workers(), len(evos)*len(tasks), func(i int) (OverlappedPoint, error) {
+		evo, t := evos[i/len(tasks)], tasks[i%len(tasks)]
+		pct, err := a.OverlappedPercent(t.cfg, t.tp, evo)
+		if err != nil {
+			return OverlappedPoint{}, err
+		}
+		return OverlappedPoint{
+			H: t.h, SLB: t.sl, FlopVsBW: evo.FlopVsBW(), Percent: pct,
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]OverlappedPoint, len(evos))
+	for i := range evos {
+		out[i] = flat[i*len(tasks) : (i+1)*len(tasks)]
 	}
 	return out, nil
 }

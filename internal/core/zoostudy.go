@@ -6,6 +6,7 @@ import (
 
 	"twocs/internal/hw"
 	"twocs/internal/model"
+	"twocs/internal/parallel"
 )
 
 // ZooTimelineRow is one published model's projected communication share
@@ -27,24 +28,24 @@ type ZooTimelineRow struct {
 //
 // Zoo head counts do not all divide their TP degrees (PaLM has 48 heads),
 // so each model is projected through its proportional stand-in from
-// FutureConfig, preserving H, SL, B and layer count.
+// FutureConfig, preserving H, SL, B and layer count. Models are
+// projected concurrently under Analyzer.Workers, in timeline order.
 func (a *Analyzer) ZooTimeline(entries []model.ZooEntry) ([]ZooTimelineRow, error) {
 	if len(entries) == 0 {
 		return nil, fmt.Errorf("core: no models")
 	}
-	out := make([]ZooTimelineRow, 0, len(entries))
-	for _, e := range entries {
+	return parallel.Map(a.workers(), len(entries), func(i int) (ZooTimelineRow, error) {
+		e := entries[i]
 		h := nearestPow2(e.Config.Hidden)
 		cfg, err := FutureConfig(h, e.Config.SeqLen, e.Batch)
 		if err != nil {
-			return nil, err
+			return ZooTimelineRow{}, err
 		}
 		cfg.Name = e.Config.Name
 		cfg.Layers = e.Config.Layers
 		row := ZooTimelineRow{Model: e.Config.Name, Year: e.Year, TP: e.TP}
 		if e.TP < 2 {
-			out = append(out, row) // single device: no serialized comm
-			continue
+			return row, nil // single device: no serialized comm
 		}
 		for _, sc := range []struct {
 			ratio float64
@@ -56,13 +57,12 @@ func (a *Analyzer) ZooTimeline(entries []model.ZooEntry) ([]ZooTimelineRow, erro
 			}
 			p, err := a.SerializedFraction(cfg, e.TP, evo)
 			if err != nil {
-				return nil, err
+				return ZooTimelineRow{}, err
 			}
 			*sc.dst = p.CommFraction()
 		}
-		out = append(out, row)
-	}
-	return out, nil
+		return row, nil
+	})
 }
 
 // nearestPow2 rounds to the nearest power of two (ties go up), keeping

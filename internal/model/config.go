@@ -117,6 +117,15 @@ func (c Config) ValidateTP(tp int) error {
 	return nil
 }
 
+// TPDivides reports whether a tensor-parallel degree divides the sharded
+// dimensions — the skip-vs-run decision of the grid sweeps. It is the
+// divisibility half of ValidateTP, for callers that validated the
+// configuration once up front and only need the per-TP check inside a
+// sweep's inner loop.
+func (c Config) TPDivides(tp int) bool {
+	return tp > 0 && c.Heads%tp == 0 && c.FCDim%tp == 0
+}
+
 // LayerParams returns the parameter count of one Transformer layer:
 // 4H² attention weights (QKV + output projection) plus 2·H·FC feed-forward
 // weights plus biases and the two LayerNorms' gains/biases.

@@ -38,7 +38,9 @@ type ARReference struct {
 // Valid reports whether the reference is usable.
 func (r ARReference) Valid() bool { return r.Bytes > 0 && r.Group >= 2 && r.Time > 0 }
 
-// Model is a calibrated operator-level model.
+// Model is a calibrated operator-level model. A calibrated Model is
+// immutable and safe for concurrent use: the parallel sweep engine
+// projects many grid points through one Model at once.
 type Model struct {
 	base    model.Config
 	baseTP  int
@@ -258,9 +260,12 @@ type LayerProjection struct {
 }
 
 // ProjectLayer projects every operator of one target layer's iteration
-// and sums compute vs serialized communication.
+// and sums compute vs serialized communication. The operator graph comes
+// from the process-wide memo (model.CachedLayerOps), so repeated
+// projections of one shape — across hardware-evolution scenarios, sweep
+// repetitions, worker goroutines — share a single graph construction.
 func (m *Model) ProjectLayer(target model.Config, tp int) (LayerProjection, error) {
-	ops, err := model.LayerOps(target, tp)
+	ops, err := model.CachedLayerOps(target, tp)
 	if err != nil {
 		return LayerProjection{}, err
 	}
@@ -270,7 +275,7 @@ func (m *Model) ProjectLayer(target model.Config, tp int) (LayerProjection, erro
 // ProjectLayerForward projects only the forward pass — the inference
 // analysis of §6.3 (one forward, two serialized all-reduces per layer).
 func (m *Model) ProjectLayerForward(target model.Config, tp int) (LayerProjection, error) {
-	ops, err := model.LayerForwardOps(target, tp)
+	ops, err := model.CachedLayerForwardOps(target, tp)
 	if err != nil {
 		return LayerProjection{}, err
 	}

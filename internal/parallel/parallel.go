@@ -1,0 +1,131 @@
+// Package parallel is the bounded worker-pool sweep engine behind the
+// repo's grid studies. The paper's method projects hundreds of
+// (H × SL × TP × evolution) configurations from one profiled baseline
+// (§4.2.4, Table 3); those projections are embarrassingly parallel and
+// independent, so this package fans them out over a bounded pool while
+// keeping every observable result byte-identical to the sequential
+// loop: outputs are ordered by grid index, and the reported error is
+// the one the sequential loop would have hit first.
+package parallel
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a worker-count setting: n > 0 requests exactly n
+// workers, anything else defaults to runtime.NumCPU(). A resolved count
+// of 1 selects the purely sequential path (no goroutines spawned).
+func Workers(n int) int {
+	if n > 0 {
+		return n
+	}
+	return runtime.NumCPU()
+}
+
+// Map evaluates fn(0) .. fn(n-1) using at most Workers(workers)
+// goroutines and returns the results indexed like the inputs — the
+// output slice is deterministic regardless of worker count or
+// scheduling. fn must be safe for concurrent invocation when more than
+// one worker is requested.
+//
+// Error semantics match the sequential loop: on failure Map returns the
+// error of the lowest failing index. The first observed failure cancels
+// the sweep — no new indices are claimed — but in-flight evaluations
+// finish, which is what makes the lowest-index guarantee hold: indices
+// are claimed monotonically, so every index below a failing one is
+// either complete or in flight when the failure is recorded.
+func Map[T any](workers, n int, fn func(int) (T, error)) ([]T, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("parallel: negative task count %d", n)
+	}
+	if fn == nil {
+		return nil, fmt.Errorf("parallel: nil task function")
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	out := make([]T, n)
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			v, err := fn(i)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v
+		}
+		return out, nil
+	}
+
+	var (
+		next   atomic.Int64
+		failed atomic.Bool
+		wg     sync.WaitGroup
+
+		mu          sync.Mutex
+		firstErr    error
+		firstErrIdx = n
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if failed.Load() {
+					return
+				}
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				v, err := fn(i)
+				if err != nil {
+					mu.Lock()
+					if i < firstErrIdx {
+						firstErrIdx, firstErr = i, err
+					}
+					mu.Unlock()
+					failed.Store(true)
+					return
+				}
+				out[i] = v
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
+}
+
+// FilterMap is Map for sparse grids: fn reports keep=false to skip a
+// grid point (the sweeps skip TP degrees that do not divide a
+// configuration), and the kept results are returned densely in index
+// order. Error semantics are those of Map.
+func FilterMap[T any](workers, n int, fn func(int) (v T, keep bool, err error)) ([]T, error) {
+	type slot struct {
+		v    T
+		keep bool
+	}
+	slots, err := Map(workers, n, func(i int) (slot, error) {
+		v, keep, err := fn(i)
+		return slot{v: v, keep: keep}, err
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]T, 0, len(slots))
+	for _, s := range slots {
+		if s.keep {
+			out = append(out, s.v)
+		}
+	}
+	return out, nil
+}

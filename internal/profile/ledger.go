@@ -3,6 +3,7 @@ package profile
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"twocs/internal/units"
 )
@@ -11,7 +12,13 @@ import (
 // the paper's §4.3.8 cost comparison: the proposed strategy profiles one
 // baseline iteration plus isolated ROIs; the exhaustive alternative
 // executes every studied configuration end-to-end.
+//
+// A Ledger is safe for concurrent use: the parallel sweep engine charges
+// ROI costs from many goroutines at once. Totals are order-independent —
+// they are summed in sorted line-item order, so the result does not
+// depend on which goroutine's Add landed first.
 type Ledger struct {
+	mu      sync.Mutex
 	entries map[string]units.Seconds
 	order   []string
 }
@@ -26,6 +33,8 @@ func (l *Ledger) Add(item string, cost units.Seconds) error {
 	if cost < 0 {
 		return fmt.Errorf("profile: negative cost %v for %q", cost, item)
 	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	if _, ok := l.entries[item]; !ok {
 		l.order = append(l.order, item)
 	}
@@ -33,20 +42,33 @@ func (l *Ledger) Add(item string, cost units.Seconds) error {
 	return nil
 }
 
-// Total returns the summed cost.
+// Total returns the summed cost. The sum runs in sorted line-item order
+// so it is deterministic for a given set of entries, however they were
+// interleaved by concurrent Adds.
 func (l *Ledger) Total() units.Seconds {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	names := make([]string, 0, len(l.entries))
+	for n := range l.entries {
+		names = append(names, n)
+	}
+	sort.Strings(names)
 	var t units.Seconds
-	for _, c := range l.entries {
-		t += c
+	for _, n := range names {
+		t += l.entries[n]
 	}
 	return t
 }
 
-// Items returns line items in insertion order.
+// Items returns line items in insertion order. Under concurrent Adds the
+// insertion order reflects goroutine completion order; callers that need
+// run-to-run stable output should sort (TopItems already does).
 func (l *Ledger) Items() []struct {
 	Name string
 	Cost units.Seconds
 } {
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	out := make([]struct {
 		Name string
 		Cost units.Seconds
@@ -60,13 +82,19 @@ func (l *Ledger) Items() []struct {
 	return out
 }
 
-// TopItems returns the k most expensive line items, descending.
+// TopItems returns the k most expensive line items, descending, with
+// ties broken by name so the order is deterministic.
 func (l *Ledger) TopItems(k int) []struct {
 	Name string
 	Cost units.Seconds
 } {
 	items := l.Items()
-	sort.Slice(items, func(i, j int) bool { return items[i].Cost > items[j].Cost })
+	sort.Slice(items, func(i, j int) bool {
+		if items[i].Cost != items[j].Cost {
+			return items[i].Cost > items[j].Cost
+		}
+		return items[i].Name < items[j].Name
+	})
 	if k < len(items) {
 		items = items[:k]
 	}

@@ -66,7 +66,7 @@ func (p *Profile) LayerTime() (compute, serializedComm units.Seconds) {
 // real iteration executes every layer even though the per-layer operator
 // sequence repeats.
 func Iteration(cfg model.Config, tp int, t OpTimer) (*Profile, error) {
-	ops, err := model.LayerOps(cfg, tp)
+	ops, err := model.CachedLayerOps(cfg, tp)
 	if err != nil {
 		return nil, err
 	}
@@ -114,7 +114,7 @@ func (r ROI) OverlapPercent() float64 {
 // all-reduce traffic per rank varies only by (N-1)/N (§4.3.2), so the
 // timer's DP cost model carries whatever degree it was built with.
 func OverlappedROI(cfg model.Config, tp int, t OpTimer) (ROI, error) {
-	bwd, err := model.LayerBackwardOps(cfg, tp)
+	bwd, err := model.CachedLayerBackwardOps(cfg, tp)
 	if err != nil {
 		return ROI{}, err
 	}

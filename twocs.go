@@ -30,7 +30,9 @@ import (
 // Core analysis types.
 type (
 	// Analyzer bundles the profiled baseline and the operator-level
-	// model; it is the entry point for every empirical analysis.
+	// model; it is the entry point for every empirical analysis. Its
+	// grid studies fan out over Analyzer.Workers goroutines (0 = all
+	// CPUs, 1 = sequential) with results identical at any worker count.
 	Analyzer = core.Analyzer
 	// Config is a Transformer architecture plus training input shape.
 	Config = model.Config
