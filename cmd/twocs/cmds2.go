@@ -22,7 +22,11 @@ import (
 // techniques, ZeRO sharding (§6.1.3), and a Gantt view of a simulated
 // iteration.
 
+// evoFlag maps the -flopbw flag to a hardware scenario. The comparison
+// against 1 is a default-value sentinel on a freshly parsed flag (the
+// string "1" parses to exactly 1.0), not arithmetic on computed floats.
 func evoFlag(flopbw float64) hw.Evolution {
+	//lint:ignore floatcmp exact default-sentinel check on a parsed flag value
 	if flopbw != 1 {
 		return hw.FlopVsBWScenario(flopbw)
 	}

@@ -1,0 +1,42 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestCommandOutputDeterministic is the golden-output gate for the CLI:
+// every reporting command must emit byte-identical text run-to-run and
+// across worker counts. A diff here almost always means an unsorted map
+// iteration or a scheduling-order dependence leaked into the report
+// path — exactly the class of bug the detrange analyzer guards against
+// statically. Running under `go test -race` (CI does) additionally
+// checks the Workers>1 executions for data races.
+func TestCommandOutputDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs full sweeps; skipped in -short")
+	}
+	commands := [][]string{
+		{"serialized", "-csv"},
+		{"overlapped", "-csv"},
+		{"serialized"},
+		{"overlapped"},
+		{"zoo", "-csv"},
+		{"memory"},
+	}
+	for _, args := range commands {
+		args := args
+		t.Run(strings.Join(args, "_"), func(t *testing.T) {
+			parallel4 := append([]string{"-workers", "4"}, args...)
+			first := runCmd(t, parallel4...)
+			second := runCmd(t, parallel4...)
+			if first != second {
+				t.Fatalf("two -workers=4 runs of %v differ:\n--- first ---\n%s\n--- second ---\n%s", args, first, second)
+			}
+			sequential := append([]string{"-workers", "1"}, args...)
+			if seq := runCmd(t, sequential...); seq != first {
+				t.Fatalf("-workers=1 and -workers=4 outputs of %v differ:\n--- workers=1 ---\n%s\n--- workers=4 ---\n%s", args, seq, first)
+			}
+		})
+	}
+}

@@ -267,11 +267,7 @@ func cmdSerialized(args []string, w io.Writer) error {
 	if err != nil {
 		return err
 	}
-	evo := hw.Identity()
-	if *flopbw != 1 {
-		evo = hw.FlopVsBWScenario(*flopbw)
-	}
-	pts, err := a.SerializedSweep(core.Table3Hs(), core.Table3SLs(), core.Table3TPs(), *b, evo)
+	pts, err := a.SerializedSweep(core.Table3Hs(), core.Table3SLs(), core.Table3TPs(), *b, evoFlag(*flopbw))
 	if err != nil {
 		return err
 	}
@@ -298,11 +294,7 @@ func cmdOverlapped(args []string, w io.Writer) error {
 	if err != nil {
 		return err
 	}
-	evo := hw.Identity()
-	if *flopbw != 1 {
-		evo = hw.FlopVsBWScenario(*flopbw)
-	}
-	pts, err := a.OverlappedSweep(core.Table3Hs(), core.Table3SLs(), *tp, evo)
+	pts, err := a.OverlappedSweep(core.Table3Hs(), core.Table3SLs(), *tp, evoFlag(*flopbw))
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,48 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestCleanTreeExitsZero is the acceptance gate: the final tree must
+// lint clean.
+func TestCleanTreeExitsZero(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short")
+	}
+	var out, errOut strings.Builder
+	if code := run([]string{"./..."}, &out, &errOut); code != 0 {
+		t.Fatalf("twocslint ./... = exit %d\nstdout:\n%s\nstderr:\n%s", code, out.String(), errOut.String())
+	}
+	if out.Len() != 0 {
+		t.Fatalf("clean run should print nothing, got:\n%s", out.String())
+	}
+}
+
+// TestFixtureViolationsExitNonZero re-introduces known violations by
+// pointing the driver at a lint fixture directory: the process contract
+// (exit 1, positioned file:line:col diagnostics) is what CI gates on.
+func TestFixtureViolationsExitNonZero(t *testing.T) {
+	var out, errOut strings.Builder
+	code := run([]string{"-analyzers", "floatcmp", "internal/lint/testdata/src/floatcmp"}, &out, &errOut)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1\nstdout:\n%s\nstderr:\n%s", code, out.String(), errOut.String())
+	}
+	for _, want := range []string{"floatcmp.go:10:", "exact-equality", "finding(s)"} {
+		if !strings.Contains(out.String()+errOut.String(), want) {
+			t.Errorf("output missing %q\nstdout:\n%s\nstderr:\n%s", want, out.String(), errOut.String())
+		}
+	}
+}
+
+// TestBadAnalyzerNameExitsTwo pins usage failures to exit code 2.
+func TestBadAnalyzerNameExitsTwo(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-analyzers", "nosuch", "internal/units"}, &out, &errOut); code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+	if !strings.Contains(errOut.String(), "unknown analyzer") {
+		t.Fatalf("stderr missing unknown-analyzer message: %s", errOut.String())
+	}
+}

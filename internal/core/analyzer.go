@@ -42,8 +42,8 @@ type Analyzer struct {
 	// actually spent (baseline profile + any ROIs).
 	StrategyLedger *profile.Ledger
 
-	// mu guards substrates, the memoized per-evolution timer stacks.
-	mu         sync.Mutex
+	mu sync.Mutex
+	// substrates memoizes the per-evolution timer stacks; guarded by mu.
 	substrates map[hw.Evolution]*substrate
 }
 

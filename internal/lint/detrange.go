@@ -1,0 +1,136 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"path/filepath"
+	"strings"
+)
+
+// DetRange enforces the repo's byte-determinism invariant: every
+// rendered artifact (tables, CSV grids, calibration JSON, Chrome
+// traces) must be identical run to run and at any -workers count, which
+// Go's randomized map iteration order breaks silently.
+//
+// Two rules:
+//
+//   - In designated determinism-critical code — the internal/report
+//     package, and any file named serialize.go or chrometrace.go — a
+//     `range` over a map is flagged unless the loop body does nothing
+//     but collect keys into a slice (for sorting afterwards, the
+//     sorted-keys idiom PR 1's ledger work established).
+//   - Anywhere else, a `range` over a map whose body performs output
+//     (fmt.Print*/Fprint*, Write*/Render*/AddRow/Encode calls) is
+//     flagged: formatted output ordered by map iteration is
+//     nondeterministic by construction.
+//
+// _test.go files are exempt; fix the production path, not the
+// assertion.
+var DetRange = &Analyzer{
+	Name: "detrange",
+	Doc:  "flags map iteration that feeds formatted output or lives in determinism-critical files without sorting keys first",
+	Run:  runDetRange,
+}
+
+// detRangePkgSuffixes designates whole packages as determinism-critical.
+var detRangePkgSuffixes = []string{"internal/report"}
+
+// detRangeFiles designates individual files as determinism-critical by
+// basename, wherever they live.
+var detRangeFiles = map[string]bool{
+	"serialize.go":   true,
+	"chrometrace.go": true,
+}
+
+func runDetRange(p *Pass) {
+	designatedPkg := false
+	for _, suffix := range detRangePkgSuffixes {
+		if hasSuffixPath(strings.TrimSuffix(p.PkgPath, "_test"), suffix) {
+			designatedPkg = true
+		}
+	}
+	for _, f := range p.Files {
+		filename := p.Fset.Position(f.Pos()).Filename
+		if strings.HasSuffix(filename, "_test.go") {
+			continue
+		}
+		designated := designatedPkg || detRangeFiles[filepath.Base(filename)]
+		ast.Inspect(f, func(n ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := p.TypeOf(rng.X)
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			switch {
+			case designated:
+				if !isKeyCollectLoop(rng) {
+					p.Report(rng.Pos(), "map iteration in determinism-critical code; collect the keys, sort them, then iterate the sorted slice")
+				}
+			case bodyProducesOutput(rng.Body):
+				p.Report(rng.Pos(), "map iteration feeding formatted output is ordered by Go's randomized map order; sort the keys first")
+			}
+			return true
+		})
+	}
+}
+
+// isKeyCollectLoop reports whether every statement in the range body is
+// an append into a slice — the first half of the sorted-keys idiom.
+func isKeyCollectLoop(rng *ast.RangeStmt) bool {
+	if len(rng.Body.List) == 0 {
+		return false
+	}
+	for _, stmt := range rng.Body.List {
+		assign, ok := stmt.(*ast.AssignStmt)
+		if !ok || len(assign.Rhs) != 1 {
+			return false
+		}
+		call, ok := unparen(assign.Rhs[0]).(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		fn, ok := unparen(call.Fun).(*ast.Ident)
+		if !ok || fn.Name != "append" {
+			return false
+		}
+	}
+	return true
+}
+
+// outputMethodNames are selector names whose call inside a map-range
+// body marks the loop as producing externally visible output.
+var outputMethodNames = map[string]bool{
+	"Print": true, "Printf": true, "Println": true,
+	"Fprint": true, "Fprintf": true, "Fprintln": true,
+	"Write": true, "WriteString": true, "WriteRune": true, "WriteByte": true,
+	"Render": true, "RenderCSV": true, "AddRow": true,
+	"Encode": true,
+}
+
+func bodyProducesOutput(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch fun := unparen(call.Fun).(type) {
+		case *ast.SelectorExpr:
+			if outputMethodNames[fun.Sel.Name] {
+				found = true
+			}
+		case *ast.Ident:
+			if outputMethodNames[fun.Name] {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}

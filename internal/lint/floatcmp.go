@@ -1,0 +1,86 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// floatCmpAllowlist names the approved comparison helpers: functions
+// whose entire purpose is comparing floats and which are therefore
+// allowed to use == / != internally. Everything else must call one of
+// them (or the stats package's tolerance helpers) instead of comparing
+// directly.
+var floatCmpAllowlist = map[string]bool{
+	"ApproxEqual":  true,
+	"approxEqual":  true,
+	"AlmostEqual":  true,
+	"almostEqual":  true,
+	"EqualWithin":  true,
+	"equalWithin":  true,
+	"SameFloat":    true,
+	"floatsEqual":  true,
+	"WithinTol":    true,
+	"withinTol":    true,
+	"nearlyEqual":  true,
+	"relativeDiff": true,
+}
+
+// FloatCmp flags == and != between floating-point values, including
+// named float64 wrappers like units.Seconds. Every quantity in this
+// repo is modelled on float64, where exact equality is almost always a
+// latent bug — two mathematically equal times computed along different
+// paths differ in the last ulp, and the resulting branch flips
+// non-deterministically across refactors.
+//
+// Exemptions, each a deliberate idiom rather than a tolerance bug:
+//
+//   - comparisons against the constant 0 (exact-zero sentinels such as
+//     units.Ratio's empty-denominator check test "was this ever set",
+//     not approximate equality);
+//   - x != x / x == x on the same identifier (the NaN test);
+//   - comparisons where both operands are compile-time constants;
+//   - bodies of the approved comparison helpers (ApproxEqual etc.);
+//   - _test.go files, whose determinism assertions intentionally
+//     require bit-exact equality.
+var FloatCmp = &Analyzer{
+	Name: "floatcmp",
+	Doc:  "flags ==/!= on float64-backed values outside approved comparison helpers",
+	Run:  runFloatCmp,
+}
+
+func runFloatCmp(p *Pass) {
+	for _, f := range p.Files {
+		withParents(f, func(n ast.Node, stack []ast.Node) {
+			expr, ok := n.(*ast.BinaryExpr)
+			if !ok || (expr.Op != token.EQL && expr.Op != token.NEQ) {
+				return
+			}
+			if p.InTestFile(expr.Pos()) {
+				return
+			}
+			if !isFloatType(p.TypeOf(expr.X)) && !isFloatType(p.TypeOf(expr.Y)) {
+				return
+			}
+			if p.IsConstant(expr.X) && p.IsConstant(expr.Y) {
+				return
+			}
+			if isConstZero(p, expr.X) || isConstZero(p, expr.Y) {
+				return
+			}
+			if isSelfCompare(expr) {
+				return
+			}
+			if floatCmpAllowlist[enclosingFuncName(stack)] {
+				return
+			}
+			p.Report(expr.OpPos, "%s on float64-backed values is exact-equality on approximate arithmetic; order the comparison (<, >) or use an approved helper", expr.Op)
+		})
+	}
+}
+
+// isSelfCompare detects the x != x NaN idiom.
+func isSelfCompare(expr *ast.BinaryExpr) bool {
+	x, okX := unparen(expr.X).(*ast.Ident)
+	y, okY := unparen(expr.Y).(*ast.Ident)
+	return okX && okY && x.Name == y.Name
+}

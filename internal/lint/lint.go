@@ -1,0 +1,224 @@
+// Package lint is the repo's static-analysis framework: a small,
+// zero-dependency (stdlib go/ast + go/types only) analogue of
+// golang.org/x/tools/go/analysis, purpose-built for the invariants this
+// codebase lives on — unit-safety of the FLOPs/bytes/seconds algebra,
+// byte-determinism of every rendered artifact, and the lock and purity
+// discipline the parallel sweep engine demands.
+//
+// An Analyzer is a named pass over one type-checked package; the
+// cmd/twocslint driver runs the whole suite over every package in the
+// module and exits non-zero on any finding, so CI can gate on it.
+//
+// False positives are suppressed inline:
+//
+//	//lint:ignore <analyzer>[,<analyzer>...] <reason>
+//
+// placed either on the flagged line or on the line immediately above
+// it. The analyzer list may be "all". A reason is mandatory; an ignore
+// directive without one is itself reported.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named static-analysis pass.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and ignore directives.
+	Name string
+	// Doc is a one-paragraph description of the invariant enforced.
+	Doc string
+	// Run inspects one package and reports findings via pass.Report.
+	Run func(*Pass)
+}
+
+// Diagnostic is one positioned finding.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+// String renders the diagnostic in the conventional file:line:col form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// Pass carries one analyzer's view of one type-checked package.
+type Pass struct {
+	Analyzer *Analyzer
+
+	// PkgPath is the package's import path.
+	PkgPath string
+	Fset    *token.FileSet
+	Files   []*ast.File
+	Pkg     *types.Package
+	Info    *types.Info
+
+	ignores ignoreIndex
+	sink    *[]Diagnostic
+}
+
+// Report records a finding at pos unless an ignore directive suppresses
+// it.
+func (p *Pass) Report(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	if p.ignores.suppressed(p.Analyzer.Name, position) {
+		return
+	}
+	*p.sink = append(*p.sink, Diagnostic{
+		Pos:      position,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// TypeOf is a nil-safe shorthand for the expression's type.
+func (p *Pass) TypeOf(e ast.Expr) types.Type { return p.Info.TypeOf(e) }
+
+// IsConstant reports whether e evaluates to a compile-time constant.
+func (p *Pass) IsConstant(e ast.Expr) bool {
+	tv, ok := p.Info.Types[e]
+	return ok && tv.Value != nil
+}
+
+// InTestFile reports whether pos lies in a _test.go file.
+func (p *Pass) InTestFile(pos token.Pos) bool {
+	return strings.HasSuffix(p.Fset.Position(pos).Filename, "_test.go")
+}
+
+// ignoreIndex maps filename -> line -> analyzer names suppressed there.
+// A directive on line N suppresses findings on lines N and N+1, so it
+// can sit on its own line above the flagged statement or trail it.
+type ignoreIndex map[string]map[int][]string
+
+func (ix ignoreIndex) suppressed(analyzer string, pos token.Position) bool {
+	lines := ix[pos.Filename]
+	for _, l := range []int{pos.Line, pos.Line - 1} {
+		for _, name := range lines[l] {
+			if name == analyzer || name == "all" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+const ignorePrefix = "//lint:ignore"
+
+// buildIgnoreIndex scans every comment in the files for ignore
+// directives. Malformed directives (no analyzer list or no reason) are
+// reported as findings themselves so they cannot silently rot.
+func buildIgnoreIndex(fset *token.FileSet, files []*ast.File, sink *[]Diagnostic) ignoreIndex {
+	ix := make(ignoreIndex)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, ignorePrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, ignorePrefix)
+				fields := strings.Fields(rest)
+				pos := fset.Position(c.Pos())
+				if len(fields) < 2 {
+					*sink = append(*sink, Diagnostic{
+						Pos:      pos,
+						Analyzer: "lintdirective",
+						Message:  "malformed //lint:ignore directive: want \"//lint:ignore <analyzer>[,...] <reason>\"",
+					})
+					continue
+				}
+				byFile := ix[pos.Filename]
+				if byFile == nil {
+					byFile = make(map[int][]string)
+					ix[pos.Filename] = byFile
+				}
+				for _, name := range strings.Split(fields[0], ",") {
+					if name != "" {
+						byFile[pos.Line] = append(byFile[pos.Line], name)
+					}
+				}
+			}
+		}
+	}
+	return ix
+}
+
+// Run executes every analyzer over every package and returns the
+// findings sorted by position then analyzer name.
+func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		ix := buildIgnoreIndex(pkg.Fset, pkg.Files, &diags)
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer: a,
+				PkgPath:  pkg.Path,
+				Fset:     pkg.Fset,
+				Files:    pkg.Files,
+				Pkg:      pkg.Types,
+				Info:     pkg.Info,
+				ignores:  ix,
+				sink:     &diags,
+			}
+			a.Run(pass)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+	return diags
+}
+
+// All returns the full analyzer suite in stable order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		UnitCheck,
+		FloatCmp,
+		DetRange,
+		LockCheck,
+		SweepPure,
+	}
+}
+
+// ByName resolves a comma-separated analyzer list against the suite.
+func ByName(names string) ([]*Analyzer, error) {
+	all := All()
+	if names == "" {
+		return all, nil
+	}
+	var out []*Analyzer
+	for _, n := range strings.Split(names, ",") {
+		n = strings.TrimSpace(n)
+		found := false
+		for _, a := range all {
+			if a.Name == n {
+				out = append(out, a)
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("lint: unknown analyzer %q", n)
+		}
+	}
+	return out, nil
+}

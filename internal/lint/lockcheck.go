@@ -1,0 +1,171 @@
+package lint
+
+import (
+	"go/ast"
+	"regexp"
+	"strings"
+)
+
+// LockCheck enforces the mutex discipline the concurrent sweep engine
+// introduced: a struct field annotated
+//
+//	// guarded by <mu>
+//
+// (in its doc or trailing line comment; "mu guards <field>" on the
+// mutex itself is not recognized — annotate the guarded field) may only
+// be read or written from methods of that struct that lock the named
+// mutex. The check is flow-insensitive: a method that touches a guarded
+// field must contain a recv.<mu>.Lock() or recv.<mu>.RLock() call
+// somewhere in its body.
+//
+// Methods whose names end in "Locked" are exempt by convention — they
+// document that the caller holds the lock.
+var LockCheck = &Analyzer{
+	Name: "lockcheck",
+	Doc:  "flags access to '// guarded by <mu>' fields from methods that do not lock that mutex",
+	Run:  runLockCheck,
+}
+
+var guardedByRE = regexp.MustCompile(`guarded by (\w+)`)
+
+func runLockCheck(p *Pass) {
+	guards := collectGuards(p)
+	if len(guards) == 0 {
+		return
+	}
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || len(fd.Recv.List) == 0 || fd.Body == nil {
+				continue
+			}
+			checkMethod(p, guards, fd)
+		}
+	}
+}
+
+// collectGuards maps struct type name -> guarded field name -> mutex
+// field name, from annotations in this package's files.
+func collectGuards(p *Pass) map[string]map[string]string {
+	guards := make(map[string]map[string]string)
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				mu := guardAnnotation(field)
+				if mu == "" {
+					continue
+				}
+				for _, name := range field.Names {
+					if guards[ts.Name.Name] == nil {
+						guards[ts.Name.Name] = make(map[string]string)
+					}
+					guards[ts.Name.Name][name.Name] = mu
+				}
+			}
+			return true
+		})
+	}
+	return guards
+}
+
+func guardAnnotation(field *ast.Field) string {
+	for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if cg == nil {
+			continue
+		}
+		if m := guardedByRE.FindStringSubmatch(cg.Text()); m != nil {
+			return m[1]
+		}
+	}
+	return ""
+}
+
+// receiverTypeName returns the receiver's base type name, stripping
+// pointers and generic parameters.
+func receiverTypeName(fd *ast.FuncDecl) string {
+	t := fd.Recv.List[0].Type
+	for {
+		switch x := t.(type) {
+		case *ast.StarExpr:
+			t = x.X
+		case *ast.IndexExpr:
+			t = x.X
+		case *ast.IndexListExpr:
+			t = x.X
+		case *ast.ParenExpr:
+			t = x.X
+		case *ast.Ident:
+			return x.Name
+		default:
+			return ""
+		}
+	}
+}
+
+func checkMethod(p *Pass, guards map[string]map[string]string, fd *ast.FuncDecl) {
+	fieldGuards := guards[receiverTypeName(fd)]
+	if fieldGuards == nil {
+		return
+	}
+	if len(fd.Recv.List[0].Names) == 0 {
+		return // receiver unnamed: fields are unreachable
+	}
+	recv := fd.Recv.List[0].Names[0]
+	recvObj := p.Info.Defs[recv]
+	methodName := fd.Name.Name
+	if strings.HasSuffix(methodName, "Locked") {
+		return
+	}
+
+	// locked records which mutex fields the method locks anywhere in
+	// its body (recv.mu.Lock(), recv.mu.RLock(), including inside
+	// defers and closures — flow-insensitive by design).
+	locked := make(map[string]bool)
+	type access struct {
+		pos   ast.Node
+		field string
+		mu    string
+	}
+	// firstAccess keeps one report per guarded field per method; a
+	// single statement often touches the same field several times.
+	firstAccess := make(map[string]bool)
+	var accesses []access
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		inner, ok := unparen(sel.X).(*ast.SelectorExpr)
+		if ok {
+			// Possible recv.mu.Lock() chain.
+			if base, ok := unparen(inner.X).(*ast.Ident); ok && p.Info.Uses[base] == recvObj {
+				if sel.Sel.Name == "Lock" || sel.Sel.Name == "RLock" {
+					locked[inner.Sel.Name] = true
+				}
+			}
+		}
+		if base, ok := unparen(sel.X).(*ast.Ident); ok && p.Info.Uses[base] == recvObj {
+			if mu, guarded := fieldGuards[sel.Sel.Name]; guarded && !firstAccess[sel.Sel.Name] {
+				firstAccess[sel.Sel.Name] = true
+				accesses = append(accesses, access{pos: sel, field: sel.Sel.Name, mu: mu})
+			}
+		}
+		return true
+	})
+
+	for _, a := range accesses {
+		if locked[a.mu] {
+			continue
+		}
+		p.Report(a.pos.Pos(), "field %s is guarded by %s but method %s accesses it without %s.Lock()", a.field, a.mu, methodName, a.mu)
+	}
+}

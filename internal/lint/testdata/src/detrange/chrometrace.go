@@ -1,0 +1,43 @@
+// This file is named chrometrace.go, which makes it
+// determinism-critical by designation: every map iteration here must be
+// the key-collection half of the sorted-keys idiom.
+package detrange
+
+import "sort"
+
+// --- positives ---
+
+func sumTimes(m map[string]float64) float64 {
+	var total float64
+	for _, v := range m { // want "determinism-critical"
+		total += v
+	}
+	return total
+}
+
+func concatNames(m map[string]float64) string {
+	s := ""
+	for k := range m { // want "determinism-critical"
+		s += k
+	}
+	return s
+}
+
+// --- negatives ---
+
+func sortedKeysOK(m map[string]float64) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func sliceLoopOK(xs []float64) float64 {
+	var total float64
+	for _, v := range xs {
+		total += v
+	}
+	return total
+}

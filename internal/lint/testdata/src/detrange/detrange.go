@@ -1,0 +1,59 @@
+// Package detrange exercises the detrange analyzer's repo-wide rule:
+// map iteration that feeds formatted output must sort its keys first.
+// This file is NOT determinism-designated (see chrometrace.go for the
+// designated-file rule).
+package detrange
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// --- positives ---
+
+func printUnsorted(w io.Writer, m map[string]int) {
+	for k, v := range m { // want "feeding formatted output"
+		fmt.Fprintf(w, "%s=%d\n", k, v)
+	}
+}
+
+func tableUnsorted(t interface{ AddRow(...string) }, m map[string]float64) {
+	for k, v := range m { // want "feeding formatted output"
+		t.AddRow(k, fmt.Sprint(v))
+	}
+}
+
+// --- negatives ---
+
+func printSortedOK(w io.Writer, m map[string]int) {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(w, "%s=%d\n", k, m[k])
+	}
+}
+
+func countOK(m map[string]int) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+func sliceOutputOK(w io.Writer, xs []int) {
+	for _, x := range xs {
+		fmt.Fprintln(w, x)
+	}
+}
+
+func ignoredWithReason(w io.Writer, m map[string]int) {
+	//lint:ignore detrange fixture exercises the suppression mechanism
+	for k := range m {
+		fmt.Fprintln(w, k)
+	}
+}

@@ -1,0 +1,55 @@
+// Package floatcmp exercises the floatcmp analyzer: exact equality on
+// float64-backed values is flagged outside the approved idioms.
+package floatcmp
+
+import "twocs/internal/units"
+
+// --- positives ---
+
+func exactEqual(a, b float64) bool {
+	return a == b // want "exact-equality"
+}
+
+func exactNeqUnits(a, b units.Seconds) bool {
+	return a != b // want "exact-equality"
+}
+
+func exactAgainstConstant(frac float64) bool {
+	return frac == 0.5 // want "exact-equality"
+}
+
+// --- negatives ---
+
+func zeroSentinelOK(b float64) bool {
+	return b == 0
+}
+
+func nanCheckOK(x float64) bool {
+	return x != x
+}
+
+func orderedOK(a, b float64) bool {
+	return a < b
+}
+
+func intOK(a, b int) bool {
+	return a == b
+}
+
+// approxEqual is on the approved-helper allowlist, so its internal
+// comparison is permitted.
+func approxEqual(a, b, tol float64) bool {
+	if a == b {
+		return true
+	}
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d <= tol
+}
+
+func ignoredWithReason(a, b float64) bool {
+	//lint:ignore floatcmp fixture exercises the suppression mechanism
+	return a == b
+}

@@ -1,0 +1,66 @@
+// Package lockcheck exercises the lockcheck analyzer: fields annotated
+// "guarded by <mu>" may only be touched by methods that lock <mu>.
+package lockcheck
+
+import "sync"
+
+type counter struct {
+	mu   sync.Mutex
+	n    int      // guarded by mu
+	hits []string // guarded by mu
+	free int      // unguarded: no annotation, no discipline
+}
+
+// --- negatives ---
+
+func (c *counter) Add(delta int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n += delta
+}
+
+func (c *counter) Record(s string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.hits = append(c.hits, s)
+}
+
+// nLocked follows the *Locked naming convention: the caller holds mu.
+func (c *counter) nLocked() int {
+	return c.n
+}
+
+func (c *counter) Free() int {
+	return c.free
+}
+
+func (c *counter) IgnoredPeek() int {
+	//lint:ignore lockcheck fixture exercises the suppression mechanism
+	return c.n
+}
+
+// --- positives ---
+
+func (c *counter) Peek() int {
+	return c.n // want "guarded by mu"
+}
+
+func (c *counter) BadRecord(s string) {
+	c.hits = append(c.hits, s) // want "guarded by mu"
+}
+
+// gauge covers the RWMutex read path.
+type gauge struct {
+	mu sync.RWMutex
+	v  float64 // guarded by mu
+}
+
+func (g *gauge) Load() float64 {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.v
+}
+
+func (g *gauge) BadLoad() float64 {
+	return g.v // want "guarded by mu"
+}

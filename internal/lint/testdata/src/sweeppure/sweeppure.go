@@ -1,0 +1,73 @@
+// Package sweeppure exercises the sweeppure analyzer against the real
+// twocs/internal/parallel engine: closures handed to Map/FilterMap must
+// not mutate captured state.
+package sweeppure
+
+import "twocs/internal/parallel"
+
+// --- positives ---
+
+func sumRace(n int) (float64, error) {
+	var total float64
+	_, err := parallel.Map(0, n, func(i int) (float64, error) {
+		total += float64(i) // want "mutates captured variable"
+		return total, nil
+	})
+	return total, err
+}
+
+func mapWriteRace(n int) (map[int]bool, error) {
+	seen := make(map[int]bool)
+	_, err := parallel.Map(0, n, func(i int) (int, error) {
+		seen[i] = true // want "map write"
+		return i, nil
+	})
+	return seen, err
+}
+
+func filterCounterRace(n int) ([]int, error) {
+	count := 0
+	return parallel.FilterMap(0, n, func(i int) (int, bool, error) {
+		count++ // want "mutates captured variable"
+		return count, i%2 == 0, nil
+	})
+}
+
+type tally struct{ hits int }
+
+func fieldWriteRace(n int) (*tally, error) {
+	t := &tally{}
+	_, err := parallel.Map(0, n, func(i int) (int, error) {
+		t.hits++ // want "write through field or pointer"
+		return i, nil
+	})
+	return t, err
+}
+
+// --- negatives ---
+
+func pureOK(xs []float64) ([]float64, error) {
+	return parallel.Map(0, len(xs), func(i int) (float64, error) {
+		return xs[i] * 2, nil
+	})
+}
+
+func localStateOK(n int) ([]int, error) {
+	return parallel.Map(0, n, func(i int) (int, error) {
+		acc := 0
+		for j := 0; j < i; j++ {
+			acc += j
+		}
+		return acc, nil
+	})
+}
+
+func ignoredWithReason(n int) (int, error) {
+	calls := 0
+	_, err := parallel.Map(1, n, func(i int) (int, error) {
+		//lint:ignore sweeppure single worker requested; fixture exercises suppression
+		calls++
+		return i, nil
+	})
+	return calls, err
+}

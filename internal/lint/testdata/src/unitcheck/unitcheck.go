@@ -1,0 +1,79 @@
+// Package unitcheck exercises the unitcheck analyzer against the real
+// twocs/internal/units types: true positives carry expectation
+// comments, everything else must stay silent.
+package unitcheck
+
+import "twocs/internal/units"
+
+func consume(s units.Seconds) units.Seconds { return s }
+
+// --- positives ---
+
+func mulSameUnit(a, b units.Seconds) units.Seconds {
+	return a * b // want "squared unit"
+}
+
+func divTypedRatio(a, b units.Seconds) units.Seconds {
+	return a / b // want "dimensionless ratio"
+}
+
+func bareConversion() units.Bytes {
+	return units.Bytes(1048576) // want "bare numeric literal converted to"
+}
+
+func bareParam() units.Seconds {
+	return consume(2.5) // want "bare numeric literal passed to parameter"
+}
+
+type record struct {
+	Cost units.Seconds
+}
+
+func bareField() record {
+	return record{Cost: 1.5} // want "composite-literal value"
+}
+
+func bareMapValue() map[string]units.ByteRate {
+	return map[string]units.ByteRate{
+		"nvlink": 900e9, // want "composite-literal value"
+	}
+}
+
+// --- negatives ---
+
+func scaleByConstantOK(a units.Seconds) units.Seconds {
+	return 2 * a
+}
+
+func divUnwrappedOK(a, b units.Seconds) float64 {
+	return float64(a / b)
+}
+
+func namedConstantOK() units.Bytes {
+	return units.Bytes(4 * units.MiB)
+}
+
+func constructorOK() units.FLOPSRate {
+	return units.TFLOPS(312)
+}
+
+func zeroOK() units.Seconds {
+	return units.Seconds(0)
+}
+
+func constructedParamOK() units.Seconds {
+	return consume(3 * units.Millisecond)
+}
+
+func fieldFromValueOK(d units.Seconds) record {
+	return record{Cost: d}
+}
+
+func plainFloatsOK(x, y float64) float64 {
+	return x * y / 3.5
+}
+
+func ignoredWithReason(a, b units.Seconds) units.Seconds {
+	//lint:ignore unitcheck fixture exercises the suppression mechanism
+	return a * b
+}

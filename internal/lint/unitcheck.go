@@ -1,0 +1,168 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// UnitCheck enforces the dimensional algebra of the units package. The
+// paper's headline ratios (Amdahl-edge, slack advantage, comp-vs-comm
+// fractions) are quotients of FLOPs, bytes and seconds; Go's named
+// types already stop FLOPs+Bytes from compiling, so this analyzer
+// covers what the type system cannot see:
+//
+//   - multiplying two values of the same unit type (Seconds*Seconds has
+//     no physical meaning — the result is a squared unit still typed as
+//     the base unit);
+//   - dividing two values of the same unit type without immediately
+//     converting the dimensionless ratio to float64 (the typed result
+//     would silently re-enter unit arithmetic);
+//   - bare numeric literals flowing into unit-typed positions —
+//     conversions, call arguments, struct fields and map values — which
+//     carry magnitude but no dimensional intent. Use a named
+//     constructor (units.TFLOPS, units.GBps, units.GiBCapacity), a
+//     named constant (units.MiB, units.Millisecond), or an expression
+//     mentioning one. The zero value is always allowed.
+//
+// The units package itself (where the constructors live) and _test.go
+// files are exempt.
+var UnitCheck = &Analyzer{
+	Name: "unitcheck",
+	Doc:  "flags dimensionally meaningless arithmetic and bare literals on internal/units quantity types",
+	Run:  runUnitCheck,
+}
+
+func runUnitCheck(p *Pass) {
+	if p.Pkg != nil && hasSuffixPath(p.Pkg.Path(), unitsPathSuffix) {
+		return
+	}
+	for _, f := range p.Files {
+		withParents(f, func(n ast.Node, stack []ast.Node) {
+			if p.InTestFile(n.Pos()) {
+				return
+			}
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				checkUnitArithmetic(p, n, stack)
+			case *ast.CallExpr:
+				checkUnitCall(p, n)
+			case *ast.CompositeLit:
+				checkUnitComposite(p, n)
+			}
+		})
+	}
+}
+
+func hasSuffixPath(path, suffix string) bool {
+	return path == suffix || len(path) > len(suffix) && path[len(path)-len(suffix)-1] == '/' &&
+		path[len(path)-len(suffix):] == suffix
+}
+
+// checkUnitArithmetic flags unit*unit products and unit/unit quotients
+// whose dimensionless result is not immediately unwrapped to float64.
+func checkUnitArithmetic(p *Pass, expr *ast.BinaryExpr, stack []ast.Node) {
+	if expr.Op != token.MUL && expr.Op != token.QUO {
+		return
+	}
+	// Untyped constants materialize to the unit type (2 * cost is a
+	// plain scaling), so only flag when both operands are non-constant
+	// unit-typed values.
+	if p.IsConstant(expr.X) || p.IsConstant(expr.Y) {
+		return
+	}
+	nameX, okX := unitTypeName(p.TypeOf(expr.X))
+	nameY, okY := unitTypeName(p.TypeOf(expr.Y))
+	if !okX || !okY {
+		return
+	}
+	if expr.Op == token.MUL {
+		p.Report(expr.OpPos, "multiplying units.%s by units.%s yields a squared unit still typed units.%s; convert operands to float64 first", nameX, nameY, nameX)
+		return
+	}
+	if quotientUnwrapped(p, stack) {
+		return
+	}
+	p.Report(expr.OpPos, "units.%s / units.%s is a dimensionless ratio but stays typed units.%s; wrap the division in float64(...) or use units.Ratio", nameX, nameY, nameX)
+}
+
+// quotientUnwrapped reports whether the innermost enclosing expression
+// is a conversion of the quotient to a non-unit type (parens ignored).
+func quotientUnwrapped(p *Pass, stack []ast.Node) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch n := stack[i].(type) {
+		case *ast.ParenExpr:
+			continue
+		case *ast.CallExpr:
+			target, ok := isConversion(p, n)
+			if !ok {
+				return false
+			}
+			_, isUnit := unitTypeName(target)
+			return !isUnit
+		default:
+			return false
+		}
+	}
+	return false
+}
+
+// checkUnitCall flags bare numeric literals converted to a unit type or
+// passed where a parameter expects one.
+func checkUnitCall(p *Pass, call *ast.CallExpr) {
+	if target, ok := isConversion(p, call); ok {
+		if name, isUnit := unitTypeName(target); isUnit && len(call.Args) == 1 {
+			reportBareLiteral(p, call.Args[0], name, "converted to")
+		}
+		return
+	}
+	fn := calleeFunc(p, call)
+	if fn == nil {
+		return
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			slice, ok := params.At(params.Len() - 1).Type().(*types.Slice)
+			if !ok {
+				continue
+			}
+			pt = slice.Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		if name, isUnit := unitTypeName(pt); isUnit {
+			reportBareLiteral(p, arg, name, "passed to parameter of type")
+		}
+	}
+}
+
+// checkUnitComposite flags bare literals used as struct-field or
+// map-element values of unit type inside composite literals.
+func checkUnitComposite(p *Pass, lit *ast.CompositeLit) {
+	for _, elt := range lit.Elts {
+		value := elt
+		if kv, ok := elt.(*ast.KeyValueExpr); ok {
+			value = kv.Value
+		}
+		if name, isUnit := unitTypeName(p.TypeOf(value)); isUnit {
+			reportBareLiteral(p, value, name, "used as composite-literal value of type")
+		}
+	}
+}
+
+func reportBareLiteral(p *Pass, e ast.Expr, unitName, how string) {
+	e = unparen(e)
+	if !isBareNumeric(e) || isConstZero(p, e) {
+		return
+	}
+	p.Report(e.Pos(), "bare numeric literal %s units.%s; use a named constructor or a units constant so the magnitude carries its dimension", how, unitName)
+}

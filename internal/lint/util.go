@@ -1,0 +1,171 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// unitsPathSuffix identifies the quantity package whose types the
+// unit-safety analyzers protect.
+const unitsPathSuffix = "internal/units"
+
+// unitTypeName returns the name of t if it is a named float64 quantity
+// from the units package (FLOPs, Bytes, Seconds, FLOPSRate, ByteRate).
+func unitTypeName(t types.Type) (string, bool) {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return "", false
+	}
+	obj := named.Obj()
+	if obj == nil || obj.Pkg() == nil || !strings.HasSuffix(obj.Pkg().Path(), unitsPathSuffix) {
+		return "", false
+	}
+	basic, ok := named.Underlying().(*types.Basic)
+	if !ok || basic.Info()&types.IsFloat == 0 {
+		return "", false
+	}
+	return obj.Name(), true
+}
+
+// isFloatType reports whether t's underlying type is a floating-point
+// kind (covering both bare float64 and named wrappers like
+// units.Seconds).
+func isFloatType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	basic, ok := t.Underlying().(*types.Basic)
+	return ok && basic.Info()&types.IsFloat != 0
+}
+
+// isBareNumeric reports whether e is built purely from numeric literals
+// — no identifiers, conversions or calls — e.g. 1e9, -(2.5), 3*1024.
+// Such expressions carry no dimensional intent.
+func isBareNumeric(e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.BasicLit:
+		return e.Kind == token.INT || e.Kind == token.FLOAT
+	case *ast.ParenExpr:
+		return isBareNumeric(e.X)
+	case *ast.UnaryExpr:
+		return isBareNumeric(e.X)
+	case *ast.BinaryExpr:
+		return isBareNumeric(e.X) && isBareNumeric(e.Y)
+	default:
+		return false
+	}
+}
+
+// constValue returns the expression's constant value, if any.
+func constValue(p *Pass, e ast.Expr) (constant.Value, bool) {
+	tv, ok := p.Info.Types[e]
+	if !ok || tv.Value == nil {
+		return nil, false
+	}
+	return tv.Value, true
+}
+
+// isConstZero reports whether e is a compile-time constant equal to 0.
+func isConstZero(p *Pass, e ast.Expr) bool {
+	v, ok := constValue(p, e)
+	if !ok || (v.Kind() != constant.Int && v.Kind() != constant.Float) {
+		return false
+	}
+	f, _ := constant.Float64Val(v)
+	return f == 0
+}
+
+// unparen strips any number of enclosing parentheses.
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}
+
+// baseIdent walks selector/index/star chains to the root identifier,
+// e.g. a.b[i].c -> a. Returns nil when the root is not an identifier
+// (a call result, for example).
+func baseIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := unparen(e).(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// calleeFunc resolves the called function object, seeing through
+// parentheses and generic instantiation.
+func calleeFunc(p *Pass, call *ast.CallExpr) *types.Func {
+	fun := unparen(call.Fun)
+	if ix, ok := fun.(*ast.IndexExpr); ok {
+		fun = unparen(ix.X)
+	}
+	if ixl, ok := fun.(*ast.IndexListExpr); ok {
+		fun = unparen(ixl.X)
+	}
+	var obj types.Object
+	switch fun := fun.(type) {
+	case *ast.Ident:
+		obj = p.Info.Uses[fun]
+	case *ast.SelectorExpr:
+		obj = p.Info.Uses[fun.Sel]
+	}
+	f, _ := obj.(*types.Func)
+	return f
+}
+
+// isConversion reports whether the call expression is a type
+// conversion, returning the target type.
+func isConversion(p *Pass, call *ast.CallExpr) (types.Type, bool) {
+	tv, ok := p.Info.Types[call.Fun]
+	if !ok || !tv.IsType() {
+		return nil, false
+	}
+	return tv.Type, true
+}
+
+// withParents walks every node in f, invoking fn with the node and its
+// ancestor stack (innermost last, not including n itself).
+func withParents(f *ast.File, fn func(n ast.Node, stack []ast.Node)) {
+	var stack []ast.Node
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		fn(n, stack)
+		stack = append(stack, n)
+		return true
+	})
+}
+
+// enclosingFuncName returns the name of the innermost named function or
+// method in the ancestor stack ("" inside a func literal or at file
+// scope).
+func enclosingFuncName(stack []ast.Node) string {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch d := stack[i].(type) {
+		case *ast.FuncLit:
+			return ""
+		case *ast.FuncDecl:
+			return d.Name.Name
+		}
+	}
+	return ""
+}

@@ -19,8 +19,8 @@ import (
 // depend on which goroutine's Add landed first.
 type Ledger struct {
 	mu      sync.Mutex
-	entries map[string]units.Seconds
-	order   []string
+	entries map[string]units.Seconds // guarded by mu
+	order   []string                 // guarded by mu
 }
 
 // NewLedger returns an empty ledger.
@@ -90,8 +90,11 @@ func (l *Ledger) TopItems(k int) []struct {
 } {
 	items := l.Items()
 	sort.Slice(items, func(i, j int) bool {
-		if items[i].Cost != items[j].Cost {
-			return items[i].Cost > items[j].Cost
+		if items[i].Cost > items[j].Cost {
+			return true
+		}
+		if items[i].Cost < items[j].Cost {
+			return false
 		}
 		return items[i].Name < items[j].Name
 	})

@@ -133,11 +133,12 @@ func Sparkline(ys []float64) string {
 		switch {
 		case math.IsNaN(y) || math.IsInf(y, 0):
 			b.WriteRune('?')
-		case hi == lo:
-			b.WriteRune(sparkChars[len(sparkChars)/2])
-		default:
+		case hi > lo:
 			idx := int((y - lo) / (hi - lo) * float64(len(sparkChars)-1))
 			b.WriteRune(sparkChars[idx])
+		default:
+			// A constant series (hi and lo identical) renders mid-height.
+			b.WriteRune(sparkChars[len(sparkChars)/2])
 		}
 	}
 	return b.String()

@@ -274,8 +274,11 @@ func Run(ops []Op, cfg Config) (*Trace, error) {
 		}
 	}
 	sort.Slice(tr.Spans, func(i, j int) bool {
-		if tr.Spans[i].Start != tr.Spans[j].Start {
-			return tr.Spans[i].Start < tr.Spans[j].Start
+		if tr.Spans[i].Start < tr.Spans[j].Start {
+			return true
+		}
+		if tr.Spans[i].Start > tr.Spans[j].Start {
+			return false
 		}
 		return tr.Spans[i].Op.ID < tr.Spans[j].Op.ID
 	})

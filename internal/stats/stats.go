@@ -208,7 +208,8 @@ func NewInterpolator(xs, ys []float64) (*Interpolator, error) {
 	sort.Slice(pts, func(i, j int) bool { return pts[i].x < pts[j].x })
 	in := &Interpolator{xs: make([]float64, len(pts)), ys: make([]float64, len(pts))}
 	for i, p := range pts {
-		if i > 0 && p.x == pts[i-1].x {
+		// pts is sorted ascending, so <= can only mean an exact duplicate.
+		if i > 0 && p.x <= pts[i-1].x {
 			return nil, fmt.Errorf("%w: duplicate x=%g", ErrBadDomain, p.x)
 		}
 		in.xs[i], in.ys[i] = p.x, p.y

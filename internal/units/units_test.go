@@ -132,3 +132,75 @@ func TestStringTotalProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestStringNonFinite pins the rendering of NaN and infinities: they
+// must pass through the formatter legibly rather than panic or pick a
+// nonsense SI prefix. NaN fails every prefix threshold, so it lands on
+// the unprefixed base unit; +/-Inf exceeds every threshold, so it takes
+// the largest prefix.
+func TestStringNonFinite(t *testing.T) {
+	cases := []struct{ got, want string }{
+		{Seconds(math.NaN()).String(), "NaN s"},
+		{Seconds(math.Inf(1)).String(), "+Inf s"},
+		{Seconds(math.Inf(-1)).String(), "-Inf s"},
+		{FLOPs(math.NaN()).String(), "NaN FLOP"},
+		{FLOPs(math.Inf(1)).String(), "+Inf EFLOP"},
+		{Bytes(math.Inf(-1)).String(), "-Inf EB"},
+		{FLOPSRate(math.NaN()).String(), "NaN FLOP/s"},
+	}
+	for _, c := range cases {
+		if c.got != c.want {
+			t.Errorf("got %q, want %q", c.got, c.want)
+		}
+	}
+}
+
+// TestSecondsExtremes covers durations outside the comfortable
+// middle: sub-nanosecond intervals (a single FLOP on a modern
+// accelerator) must render in ns without losing the fraction, and
+// multi-year training runs must stay in hours rather than overflow
+// into a garbage prefix.
+func TestSecondsExtremes(t *testing.T) {
+	cases := []struct {
+		s    Seconds
+		want string
+	}{
+		{Seconds(3.2e-10), "0.32 ns"},
+		{Seconds(-4.7e-8), "-47 ns"},
+		{Seconds(1e8), "2.778e+04 h"}, // ~3.2 years
+		{Seconds(3.156e7), "8767 h"},  // ~1 year
+		{Seconds(0), "0 s"},
+	}
+	for _, c := range cases {
+		if got := c.s.String(); got != c.want {
+			t.Errorf("Seconds(%g).String() = %q, want %q", float64(c.s), got, c.want)
+		}
+	}
+}
+
+// TestConstructorRoundTrips pins the named constructors to their exact
+// scale factors and their formatted renderings. The comparisons are
+// exact on purpose: each factor is a power of ten or two below 2^53,
+// so the products are exactly representable and any drift is a real
+// regression in the constructor.
+func TestConstructorRoundTrips(t *testing.T) {
+	if float64(TFLOPS(312)) != 312e12 {
+		t.Errorf("TFLOPS(312) = %g, want 312e12", float64(TFLOPS(312)))
+	}
+	if float64(GBps(900)) != 9e11 {
+		t.Errorf("GBps(900) = %g, want 9e11", float64(GBps(900)))
+	}
+	if float64(GiBCapacity(80)) != 80*1073741824 {
+		t.Errorf("GiBCapacity(80) = %g, want 80*2^30", float64(GiBCapacity(80)))
+	}
+	renders := []struct{ got, want string }{
+		{TFLOPS(312).String(), "312 TFLOP/s"},
+		{GBps(900).String(), "900 GB/s"},
+		{GiBCapacity(80).String(), "85.9 GB"}, // GiB in, decimal GB out
+	}
+	for _, c := range renders {
+		if c.got != c.want {
+			t.Errorf("got %q, want %q", c.got, c.want)
+		}
+	}
+}
