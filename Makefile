@@ -1,0 +1,36 @@
+# Developer entry points for the twocs analysis engine. Everything here
+# is plain `go` + POSIX sh; CI runs the same steps (see
+# .github/workflows/ci.yml).
+
+GO ?= go
+
+.PHONY: build test race lint bench bench-json clean
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# lint runs the repo's own analyzer suite plus gofmt.
+lint:
+	$(GO) run ./cmd/twocslint ./...
+	@fmt_out=$$(gofmt -l .); if [ -n "$$fmt_out" ]; then \
+		echo "gofmt needed on:"; echo "$$fmt_out"; exit 1; fi
+
+# bench prints the sweep-engine benchmarks (the telemetry layer's
+# perf-contract set) without updating the recorded baseline.
+bench:
+	$(GO) test -run '^$$' -bench 'Sweep|EvolutionGrid' -benchmem .
+
+# bench-json refreshes BENCH_sweep.json, the recorded baseline the
+# telemetry layer is held to (see EXPERIMENTS.md "Sweep benchmark
+# baseline").
+bench-json:
+	scripts/bench_sweep.sh
+
+clean:
+	rm -f twocs twocslint

@@ -1,7 +1,6 @@
 package main
 
 import (
-	"flag"
 	"fmt"
 	"io"
 	"os"
@@ -34,7 +33,7 @@ func evoFlag(flopbw float64) hw.Evolution {
 }
 
 func cmdPipeline(args []string, w io.Writer) error {
-	fs := flag.NewFlagSet("pipeline", flag.ContinueOnError)
+	fs := newFlagSet("pipeline")
 	h := fs.Int("h", 16384, "hidden dimension")
 	sl := fs.Int("sl", 2048, "sequence length")
 	layers := fs.Int("layers", 96, "layer count")
@@ -86,7 +85,7 @@ func cmdPipeline(args []string, w io.Writer) error {
 }
 
 func cmdPrecision(args []string, w io.Writer) error {
-	fs := flag.NewFlagSet("precision", flag.ContinueOnError)
+	fs := newFlagSet("precision")
 	h := fs.Int("h", 8192, "hidden dimension")
 	tp := fs.Int("tp", 16, "tensor-parallel degree")
 	if err := fs.Parse(args); err != nil {
@@ -121,7 +120,7 @@ func cmdPrecision(args []string, w io.Writer) error {
 }
 
 func cmdTechniques(args []string, w io.Writer) error {
-	fs := flag.NewFlagSet("techniques", flag.ContinueOnError)
+	fs := newFlagSet("techniques")
 	h := fs.Int("h", 16384, "hidden dimension")
 	tp := fs.Int("tp", 64, "tensor-parallel degree")
 	flopbw := fs.Float64("flopbw", 4, "flop-vs-bw hardware scaling")
@@ -172,7 +171,7 @@ func cmdTechniques(args []string, w io.Writer) error {
 }
 
 func cmdZero(args []string, w io.Writer) error {
-	fs := flag.NewFlagSet("zero", flag.ContinueOnError)
+	fs := newFlagSet("zero")
 	h := fs.Int("h", 8192, "hidden dimension")
 	tp := fs.Int("tp", 16, "tensor-parallel degree")
 	dp := fs.Int("dp", 8, "data-parallel degree")
@@ -207,7 +206,7 @@ func cmdZero(args []string, w io.Writer) error {
 }
 
 func cmdMoE(args []string, w io.Writer) error {
-	fs := flag.NewFlagSet("moe", flag.ContinueOnError)
+	fs := newFlagSet("moe")
 	h := fs.Int("h", 16384, "hidden dimension")
 	tp := fs.Int("tp", 64, "tensor-parallel degree")
 	flopbw := fs.Float64("flopbw", 1, "flop-vs-bw hardware scaling")
@@ -242,7 +241,7 @@ func cmdMoE(args []string, w io.Writer) error {
 }
 
 func cmdInference(args []string, w io.Writer) error {
-	fs := flag.NewFlagSet("inference", flag.ContinueOnError)
+	fs := newFlagSet("inference")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -281,7 +280,7 @@ func cmdInference(args []string, w io.Writer) error {
 }
 
 func cmdGantt(args []string, w io.Writer) error {
-	fs := flag.NewFlagSet("gantt", flag.ContinueOnError)
+	fs := newFlagSet("gantt")
 	h := fs.Int("h", 8192, "hidden dimension")
 	layers := fs.Int("layers", 2, "layer count to draw")
 	tp := fs.Int("tp", 16, "tensor-parallel degree")

@@ -2,7 +2,6 @@ package main
 
 import (
 	"encoding/json"
-	"flag"
 	"fmt"
 	"io"
 	"os"
@@ -18,7 +17,7 @@ import (
 // cmdDiagnose audits the operator-level model against ground truth for
 // one target configuration, operator by operator.
 func cmdDiagnose(args []string, w io.Writer) error {
-	fs := flag.NewFlagSet("diagnose", flag.ContinueOnError)
+	fs := newFlagSet("diagnose")
 	h := fs.Int("h", 4096, "hidden dimension of the target model")
 	sl := fs.Int("sl", 2048, "sequence length")
 	tp := fs.Int("tp", 16, "tensor-parallel degree")
@@ -60,7 +59,7 @@ func cmdDiagnose(args []string, w io.Writer) error {
 
 // cmdMemSim simulates one iteration's per-device memory timeline.
 func cmdMemSim(args []string, w io.Writer) error {
-	fs := flag.NewFlagSet("memsim", flag.ContinueOnError)
+	fs := newFlagSet("memsim")
 	h := fs.Int("h", 8192, "hidden dimension")
 	sl := fs.Int("sl", 2048, "sequence length")
 	layers := fs.Int("layers", 8, "layer count")
@@ -99,7 +98,7 @@ func cmdMemSim(args []string, w io.Writer) error {
 // cmdCalibrate profiles the baseline and writes the calibrated
 // operator-level model to a JSON file: profile once, project anywhere.
 func cmdCalibrate(args []string, w io.Writer) error {
-	fs := flag.NewFlagSet("calibrate", flag.ContinueOnError)
+	fs := newFlagSet("calibrate")
 	out := fs.String("o", "calibration.json", "output path for the calibration")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -125,7 +124,7 @@ func cmdCalibrate(args []string, w io.Writer) error {
 // cmdProject loads a saved calibration (or calibrates in-process) and
 // projects one configuration across hardware scenarios.
 func cmdProject(args []string, w io.Writer) error {
-	fs := flag.NewFlagSet("project", flag.ContinueOnError)
+	fs := newFlagSet("project")
 	calPath := fs.String("calibration", "", "path to a saved calibration (empty: calibrate now)")
 	h := fs.Int("h", 16384, "hidden dimension")
 	sl := fs.Int("sl", 2048, "sequence length")
@@ -174,7 +173,7 @@ func cmdProject(args []string, w io.Writer) error {
 // cmdTimeline projects the communication share of every published model
 // at its era's TP degree — the paper's narrative as one table.
 func cmdTimeline(args []string, w io.Writer) error {
-	fs := flag.NewFlagSet("timeline", flag.ContinueOnError)
+	fs := newFlagSet("timeline")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -202,7 +201,7 @@ func cmdTimeline(args []string, w io.Writer) error {
 
 // cmdScaling sweeps TP×DP splits of a fixed device budget.
 func cmdScaling(args []string, w io.Writer) error {
-	fs := flag.NewFlagSet("scaling", flag.ContinueOnError)
+	fs := newFlagSet("scaling")
 	h := fs.Int("h", 8192, "hidden dimension")
 	layers := fs.Int("layers", 8, "layer count to simulate")
 	devices := fs.Int("devices", 256, "total device budget")

@@ -26,11 +26,13 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime/pprof"
 
 	"twocs/internal/core"
 	"twocs/internal/hw"
 	"twocs/internal/model"
 	"twocs/internal/report"
+	"twocs/internal/telemetry"
 	"twocs/internal/units"
 )
 
@@ -45,10 +47,61 @@ func main() {
 // 0 selects runtime.NumCPU(), 1 forces sequential sweeps.
 var workerCount int
 
-func run(args []string, w io.Writer) error {
-	global := flag.NewFlagSet("twocs", flag.ContinueOnError)
-	global.IntVar(&workerCount, "workers", 0,
+// telemetryOpts carries the observability flags. They are registered on
+// the global flag set AND (via newFlagSet) on every subcommand's, so
+// `twocs -trace run.json serialized` and `twocs serialized -trace
+// run.json` both work; telemetry output goes to files and stderr only,
+// leaving subcommand stdout byte-identical with and without the flags.
+var telemetryOpts struct {
+	trace   string // write a Chrome trace of this run's spans
+	metrics bool   // dump the metrics snapshot to metricsSink at exit
+}
+
+// metricsSink receives the -metrics dump; tests substitute a buffer.
+var metricsSink io.Writer = os.Stderr
+
+// addSharedFlags registers the flags every subcommand shares. Defaults
+// are the variables' current values, so a value parsed in the global
+// position survives the subcommand's own Parse.
+func addSharedFlags(fs *flag.FlagSet) {
+	fs.IntVar(&workerCount, "workers", workerCount,
 		"worker goroutines for grid sweeps (0 = all CPUs, 1 = sequential)")
+	fs.StringVar(&telemetryOpts.trace, "trace", telemetryOpts.trace,
+		"write a Chrome trace of this run's telemetry spans to `file`")
+	fs.BoolVar(&telemetryOpts.metrics, "metrics", telemetryOpts.metrics,
+		"print the telemetry metrics snapshot to stderr after the subcommand")
+}
+
+// newFlagSet builds a subcommand flag set with the shared observability
+// flags registered. The gantt subcommand keeps its pre-existing -trace
+// flag (it exports the *simulated* iteration's trace); for gantt the
+// telemetry trace is only reachable from the global position.
+func newFlagSet(name string) *flag.FlagSet {
+	fs := flag.NewFlagSet(name, flag.ContinueOnError)
+	fs.IntVar(&workerCount, "workers", workerCount,
+		"worker goroutines for grid sweeps (0 = all CPUs, 1 = sequential)")
+	fs.BoolVar(&telemetryOpts.metrics, "metrics", telemetryOpts.metrics,
+		"print the telemetry metrics snapshot to stderr after the subcommand")
+	if name != "gantt" {
+		fs.StringVar(&telemetryOpts.trace, "trace", telemetryOpts.trace,
+			"write a Chrome trace of this run's telemetry spans to `file`")
+	}
+	return fs
+}
+
+func run(args []string, w io.Writer) error {
+	// Reset shared flag state: run is re-entered by tests, and the
+	// current-value-as-default registration below would otherwise leak
+	// one invocation's flags into the next.
+	workerCount = 0
+	telemetryOpts.trace, telemetryOpts.metrics = "", false
+
+	global := flag.NewFlagSet("twocs", flag.ContinueOnError)
+	addSharedFlags(global)
+	cpuprofile := global.String("cpuprofile", "",
+		"write a runtime/pprof CPU profile of this run to `file` (global position only)")
+	memprofile := global.String("memprofile", "",
+		"write a heap profile to `file` at exit (global position only)")
 	global.Usage = usage
 	if err := global.Parse(args); err != nil {
 		if err == flag.ErrHelp {
@@ -62,6 +115,84 @@ func run(args []string, w io.Writer) error {
 		return fmt.Errorf("missing subcommand")
 	}
 	cmd, rest := args[0], args[1:]
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return err
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+			fmt.Fprintf(os.Stderr, "twocs: cpu profile written to %s\n", *cpuprofile)
+		}()
+	}
+
+	// Collect for the whole dispatch: the subcommand's own flag parse
+	// may still enable -trace/-metrics, so whether to *export* is only
+	// decided afterwards. An idle collector costs a few hundred spans
+	// of memory at most; the zero-cost no-op path is for library and
+	// benchmark use, where no collector is ever enabled.
+	col := telemetry.NewCollector()
+	telemetry.Enable(col)
+	defer telemetry.Enable(nil)
+
+	err := dispatch(cmd, rest, w)
+
+	if expErr := exportTelemetry(col); expErr != nil && err == nil {
+		err = expErr
+	}
+	if *memprofile != "" {
+		if memErr := writeHeapProfile(*memprofile); memErr != nil && err == nil {
+			err = memErr
+		}
+	}
+	return err
+}
+
+func exportTelemetry(col *telemetry.Collector) error {
+	if telemetryOpts.trace != "" {
+		f, err := os.Create(telemetryOpts.trace)
+		if err != nil {
+			return err
+		}
+		if err := col.WriteChromeTrace(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "twocs: telemetry trace written to %s (open in Perfetto or chrome://tracing)\n",
+			telemetryOpts.trace)
+	}
+	if telemetryOpts.metrics {
+		fmt.Fprintln(metricsSink, "# twocs telemetry metrics")
+		if err := col.Snapshot().WriteMetrics(metricsSink); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeHeapProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "twocs: heap profile written to %s\n", path)
+	return nil
+}
+
+func dispatch(cmd string, rest []string, w io.Writer) error {
 	switch cmd {
 	case "zoo":
 		return cmdZoo(rest, w)
@@ -117,10 +248,16 @@ func run(args []string, w io.Writer) error {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: twocs [-workers N] <subcommand> [flags]
+	fmt.Fprintln(os.Stderr, `usage: twocs [-workers N] [observability flags] <subcommand> [flags]
 
 global flags:
-  -workers N   worker goroutines for grid sweeps (0 = all CPUs, 1 = sequential)
+  -workers N      worker goroutines for grid sweeps (0 = all CPUs, 1 = sequential)
+  -trace FILE     write a Chrome trace of the engine's telemetry spans
+                  (Perfetto-loadable; also accepted after the subcommand,
+                  except for gantt, whose -trace exports the simulated run)
+  -metrics        print the telemetry metrics snapshot to stderr at exit
+  -cpuprofile F   write a runtime/pprof CPU profile (global position only)
+  -memprofile F   write a heap profile at exit (global position only)
 
 subcommands:
   zoo          Table 2: published-model zoo and parameter counts
@@ -165,7 +302,7 @@ func newAnalyzer() (*core.Analyzer, error) {
 }
 
 func cmdZoo(args []string, w io.Writer) error {
-	fs := flag.NewFlagSet("zoo", flag.ContinueOnError)
+	fs := newFlagSet("zoo")
 	csv := fs.Bool("csv", false, "emit CSV")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -187,7 +324,7 @@ func cmdZoo(args []string, w io.Writer) error {
 }
 
 func cmdMemory(args []string, w io.Writer) error {
-	fs := flag.NewFlagSet("memory", flag.ContinueOnError)
+	fs := newFlagSet("memory")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -209,7 +346,7 @@ func cmdMemory(args []string, w io.Writer) error {
 }
 
 func cmdAlgorithmic(args []string, w io.Writer) error {
-	fs := flag.NewFlagSet("algorithmic", flag.ContinueOnError)
+	fs := newFlagSet("algorithmic")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -238,7 +375,7 @@ func cmdAlgorithmic(args []string, w io.Writer) error {
 }
 
 func cmdTP(args []string, w io.Writer) error {
-	fs := flag.NewFlagSet("tp", flag.ContinueOnError)
+	fs := newFlagSet("tp")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -256,7 +393,7 @@ func cmdTP(args []string, w io.Writer) error {
 }
 
 func cmdSerialized(args []string, w io.Writer) error {
-	fs := flag.NewFlagSet("serialized", flag.ContinueOnError)
+	fs := newFlagSet("serialized")
 	flopbw := fs.Float64("flopbw", 1, "flop-vs-bw hardware scaling (1, 2 or 4)")
 	b := fs.Int("b", 1, "batch size")
 	csv := fs.Bool("csv", false, "emit CSV")
@@ -283,7 +420,7 @@ func cmdSerialized(args []string, w io.Writer) error {
 }
 
 func cmdOverlapped(args []string, w io.Writer) error {
-	fs := flag.NewFlagSet("overlapped", flag.ContinueOnError)
+	fs := newFlagSet("overlapped")
 	flopbw := fs.Float64("flopbw", 1, "flop-vs-bw hardware scaling (1, 2 or 4)")
 	tp := fs.Int("tp", 16, "tensor-parallel degree of the sliced model")
 	csv := fs.Bool("csv", false, "emit CSV")
@@ -310,7 +447,7 @@ func cmdOverlapped(args []string, w io.Writer) error {
 }
 
 func cmdCaseStudy(args []string, w io.Writer) error {
-	fs := flag.NewFlagSet("casestudy", flag.ContinueOnError)
+	fs := newFlagSet("casestudy")
 	layers := fs.Int("layers", 16, "layer count to simulate (fractions are stable beyond ~8)")
 	flopbw := fs.Float64("flopbw", 4, "flop-vs-bw hardware scaling")
 	if err := fs.Parse(args); err != nil {
@@ -340,7 +477,7 @@ func cmdCaseStudy(args []string, w io.Writer) error {
 }
 
 func cmdValidate(args []string, w io.Writer) error {
-	fs := flag.NewFlagSet("validate", flag.ContinueOnError)
+	fs := newFlagSet("validate")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -366,7 +503,7 @@ func cmdValidate(args []string, w io.Writer) error {
 }
 
 func cmdSpeedup(args []string, w io.Writer) error {
-	fs := flag.NewFlagSet("speedup", flag.ContinueOnError)
+	fs := newFlagSet("speedup")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}

@@ -10,6 +10,7 @@ import (
 	"twocs/internal/model"
 	"twocs/internal/opmodel"
 	"twocs/internal/profile"
+	"twocs/internal/telemetry"
 	"twocs/internal/units"
 )
 
@@ -74,8 +75,10 @@ func (a *Analyzer) substrateFor(evo hw.Evolution) (*substrate, error) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	if s, ok := a.substrates[evo]; ok {
+		telemetry.Active().Count("core.substrate.hit", 1)
 		return s, nil
 	}
+	telemetry.Active().Count("core.substrate.miss", 1)
 	s, err := newSubstrate(a.Cluster, evo)
 	if err != nil {
 		return nil, err
@@ -130,25 +133,21 @@ func (a *Analyzer) timerOn(cfg model.Config, tp int, evo hw.Evolution) (*dist.Ti
 	return s.timer(cfg, tp)
 }
 
-// buildTimer is the unmemoized construction used before an Analyzer
-// exists (NewAnalyzer profiles the baseline with it).
-func buildTimer(cluster hw.Cluster, cfg model.Config, tp int, evo hw.Evolution) (*dist.Timer, error) {
-	if err := evo.Validate(); err != nil {
-		return nil, err
-	}
-	s, err := newSubstrate(cluster, evo)
-	if err != nil {
-		return nil, err
-	}
-	return s.timer(cfg, tp)
-}
-
 // NewAnalyzer profiles the baseline configuration at baseTP on the
 // cluster's devices and calibrates the operator-level model. This is the
 // paper's step "profile training iterations of BERT as a baseline"
 // (§4.3.3): the one expensive measurement everything else scales from.
+//
+// The analyzer struct is created first so both calibration stages pull
+// their timers through the substrate memo: the baseline profile builds
+// the identity-evolution stack (a substrate-cache miss), the all-reduce
+// sweep reuses it (a hit). Every later study on the identity scenario
+// then hits the same memo entry instead of rebuilding kernel
+// calculators and collective cost models.
 func NewAnalyzer(cluster hw.Cluster, baseCfg model.Config, baseTP int) (*Analyzer, error) {
-	timer, err := buildTimer(cluster, baseCfg, baseTP, hw.Identity())
+	defer telemetry.Active().Start("core.NewAnalyzer").End()
+	a := &Analyzer{Cluster: cluster, BaseCfg: baseCfg, BaseTP: baseTP}
+	timer, err := a.timerOn(baseCfg, baseTP, hw.Identity())
 	if err != nil {
 		return nil, err
 	}
@@ -158,7 +157,12 @@ func NewAnalyzer(cluster hw.Cluster, baseCfg model.Config, baseTP int) (*Analyze
 	}
 	// Collective calibration sweep (paper Fig 15c): measure the
 	// all-reduce at a handful of sizes on the baseline group and fit
-	// time-vs-bytes affinely.
+	// time-vs-bytes affinely. The stage requests its own timer from the
+	// memoized substrate rather than borrowing the profiling stage's.
+	arTimer, err := a.timerOn(baseCfg, baseTP, hw.Identity())
+	if err != nil {
+		return nil, err
+	}
 	var arRefs []opmodel.ARReference
 	var arCost units.Seconds
 	for _, sz := range []units.Bytes{
@@ -166,7 +170,7 @@ func NewAnalyzer(cluster hw.Cluster, baseCfg model.Config, baseTP int) (*Analyze
 		units.Bytes(16 * units.MiB), units.Bytes(64 * units.MiB),
 		units.Bytes(256 * units.MiB),
 	} {
-		d, err := timer.Time(model.OpDesc{Kind: model.TPAllReduce, Bytes: sz, DT: baseCfg.DT})
+		d, err := arTimer.Time(model.OpDesc{Kind: model.TPAllReduce, Bytes: sz, DT: baseCfg.DT})
 		if err != nil {
 			return nil, err
 		}
@@ -184,14 +188,10 @@ func NewAnalyzer(cluster hw.Cluster, baseCfg model.Config, baseTP int) (*Analyze
 	if err := ledger.Add("allreduce-sweep", arCost); err != nil {
 		return nil, err
 	}
-	return &Analyzer{
-		Cluster:        cluster,
-		BaseCfg:        baseCfg,
-		BaseTP:         baseTP,
-		OpModel:        m,
-		Baseline:       prof,
-		StrategyLedger: ledger,
-	}, nil
+	a.OpModel = m
+	a.Baseline = prof
+	a.StrategyLedger = ledger
+	return a, nil
 }
 
 // workers resolves the analyzer's configured worker count for the sweep

@@ -8,6 +8,7 @@ import (
 	"twocs/internal/hw"
 	"twocs/internal/model"
 	"twocs/internal/parallel"
+	"twocs/internal/telemetry"
 	"twocs/internal/units"
 )
 
@@ -56,6 +57,7 @@ type CaseResult struct {
 // exactly the §4.3.7 progression.
 func (a *Analyzer) CaseStudy(cfg model.Config, tp, dp int, evo hw.Evolution,
 	scenarios []CaseScenario) ([]CaseResult, error) {
+	defer telemetry.Active().Start("core.CaseStudy").End()
 	if dp < 2 {
 		return nil, fmt.Errorf("core: case study needs DP >= 2, got %d", dp)
 	}

@@ -5,6 +5,7 @@ import (
 
 	"twocs/internal/parallel"
 	"twocs/internal/profile"
+	"twocs/internal/telemetry"
 	"twocs/internal/units"
 )
 
@@ -20,6 +21,7 @@ import (
 // size to a representative depth (real models deepen as they widen,
 // Table 2); nil charges each configuration at its own layer count.
 func (a *Analyzer) ExhaustiveCostStudy(hs, sls, tps []int, b int, layersFor func(h int) int) (*profile.Ledger, error) {
+	defer telemetry.Active().Start("core.ExhaustiveCostStudy").End()
 	tasks, err := enumerateSerialized(hs, sls, tps, b)
 	if err != nil {
 		return nil, err

@@ -8,6 +8,7 @@ import (
 	"twocs/internal/hw"
 	"twocs/internal/model"
 	"twocs/internal/parallel"
+	"twocs/internal/telemetry"
 	"twocs/internal/units"
 )
 
@@ -33,6 +34,7 @@ type ScalingRow struct {
 // under Analyzer.Workers, sharing the memoized substrate, and returned
 // in ascending-TP order.
 func (a *Analyzer) ScalingStudy(cfg model.Config, devices int, tps []int, evo hw.Evolution) ([]ScalingRow, error) {
+	defer telemetry.Active().Start("core.ScalingStudy").End()
 	if devices < 2 {
 		return nil, fmt.Errorf("core: scaling study needs >=2 devices, got %d", devices)
 	}

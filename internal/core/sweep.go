@@ -6,6 +6,7 @@ import (
 	"twocs/internal/hw"
 	"twocs/internal/model"
 	"twocs/internal/parallel"
+	"twocs/internal/telemetry"
 	"twocs/internal/tensor"
 )
 
@@ -94,6 +95,7 @@ type SerializedPoint struct {
 // are projected concurrently under Analyzer.Workers and returned in grid
 // order.
 func (a *Analyzer) SerializedSweep(hs, sls, tps []int, b int, evo hw.Evolution) ([]SerializedPoint, error) {
+	defer telemetry.Active().Start("core.SerializedSweep").End()
 	tasks, err := enumerateSerialized(hs, sls, tps, b)
 	if err != nil {
 		return nil, err
@@ -125,6 +127,7 @@ func (a *Analyzer) SerializedSweep(hs, sls, tps []int, b int, evo hw.Evolution) 
 // shape across the whole (evolution × H × SL × TP) space. Results are
 // ordered scenario-major, each scenario's points in grid order.
 func (a *Analyzer) SerializedEvolutionGrid(hs, sls, tps []int, b int, evos []hw.Evolution) ([][]SerializedPoint, error) {
+	defer telemetry.Active().Start("core.SerializedEvolutionGrid").End()
 	if len(evos) == 0 {
 		return nil, fmt.Errorf("core: no evolution scenarios")
 	}
@@ -192,6 +195,7 @@ func enumerateOverlapped(hs, slbs []int, tp int) ([]serializedTask, error) {
 // Analyzer.Workers; the ledger totals are order-independent, and the
 // returned points are in grid order.
 func (a *Analyzer) OverlappedSweep(hs, slbs []int, tp int, evo hw.Evolution) ([]OverlappedPoint, error) {
+	defer telemetry.Active().Start("core.OverlappedSweep").End()
 	tasks, err := enumerateOverlapped(hs, slbs, tp)
 	if err != nil {
 		return nil, err
@@ -224,6 +228,7 @@ func (a *Analyzer) overlappedPoints(tasks []serializedTask, evo hw.Evolution) ([
 // execute on its memoized substrate; results are ordered scenario-major,
 // each scenario's points in grid order.
 func (a *Analyzer) OverlappedEvolutionGrid(hs, slbs []int, tp int, evos []hw.Evolution) ([][]OverlappedPoint, error) {
+	defer telemetry.Active().Start("core.OverlappedEvolutionGrid").End()
 	if len(evos) == 0 {
 		return nil, fmt.Errorf("core: no evolution scenarios")
 	}

@@ -7,6 +7,7 @@ import (
 	"twocs/internal/hw"
 	"twocs/internal/model"
 	"twocs/internal/parallel"
+	"twocs/internal/telemetry"
 )
 
 // ZooTimelineRow is one published model's projected communication share
@@ -31,6 +32,7 @@ type ZooTimelineRow struct {
 // FutureConfig, preserving H, SL, B and layer count. Models are
 // projected concurrently under Analyzer.Workers, in timeline order.
 func (a *Analyzer) ZooTimeline(entries []model.ZooEntry) ([]ZooTimelineRow, error) {
+	defer telemetry.Active().Start("core.ZooTimeline").End()
 	if len(entries) == 0 {
 		return nil, fmt.Errorf("core: no models")
 	}

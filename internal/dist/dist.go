@@ -18,6 +18,7 @@ import (
 	"twocs/internal/hw"
 	"twocs/internal/kernels"
 	"twocs/internal/model"
+	"twocs/internal/telemetry"
 	"twocs/internal/units"
 )
 
@@ -92,8 +93,24 @@ func NewTimer(p Plan, calc *kernels.Calculator) (*Timer, error) {
 	return &Timer{Calc: calc, TPModel: tpModel, DPModel: dpModel, TP: p.TP, DP: p.DP}, nil
 }
 
-// Time returns the standalone duration of one operator.
+// Time returns the standalone duration of one operator. When a
+// telemetry collector is active, every priced operator feeds a
+// per-kind histogram of simulated nanoseconds (deterministic: the
+// durations are model outputs, not host measurements); the name is
+// only built when a collector is installed, so the disabled path stays
+// allocation-free.
 func (t *Timer) Time(op model.OpDesc) (units.Seconds, error) {
+	d, err := t.timeOp(op)
+	if err != nil {
+		return 0, err
+	}
+	if tel := telemetry.Active(); tel != nil {
+		tel.Observe("dist.op."+op.Kind.String()+".sim_ns", telemetry.SimNanos(float64(d)))
+	}
+	return d, nil
+}
+
+func (t *Timer) timeOp(op model.OpDesc) (units.Seconds, error) {
 	switch op.Kind {
 	case model.GEMM:
 		return t.Calc.GEMMTime(op.GEMM)

@@ -33,7 +33,11 @@ var DetRange = &Analyzer{
 }
 
 // detRangePkgSuffixes designates whole packages as determinism-critical.
-var detRangePkgSuffixes = []string{"internal/report"}
+// internal/telemetry qualifies because its snapshots and trace exports
+// are diffed byte-for-byte across worker counts (the PR 3 concurrency
+// gate): an unsorted map range in a snapshot would leak goroutine
+// scheduling into the dump.
+var detRangePkgSuffixes = []string{"internal/report", "internal/telemetry"}
 
 // detRangeFiles designates individual files as determinism-critical by
 // basename, wherever they live.
@@ -111,6 +115,9 @@ var outputMethodNames = map[string]bool{
 	"Write": true, "WriteString": true, "WriteRune": true, "WriteByte": true,
 	"Render": true, "RenderCSV": true, "AddRow": true,
 	"Encode": true,
+	// telemetry sinks: a metrics dump or trace export emitted from
+	// inside a map range would be ordered by map iteration.
+	"WriteMetrics": true, "WriteChromeTrace": true,
 }
 
 func bodyProducesOutput(body *ast.BlockStmt) bool {

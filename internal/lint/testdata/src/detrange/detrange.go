@@ -57,3 +57,33 @@ func ignoredWithReason(w io.Writer, m map[string]int) {
 		fmt.Fprintln(w, k)
 	}
 }
+
+// --- telemetry sinks (PR 3) ---
+
+type snapshotter interface {
+	WriteMetrics(io.Writer) error
+	WriteChromeTrace(io.Writer) error
+}
+
+func metricsPerKeyUnsorted(w io.Writer, snaps map[string]snapshotter) {
+	for _, s := range snaps { // want "feeding formatted output"
+		_ = s.WriteMetrics(w)
+	}
+}
+
+func tracePerKeyUnsorted(w io.Writer, snaps map[string]snapshotter) {
+	for _, s := range snaps { // want "feeding formatted output"
+		_ = s.WriteChromeTrace(w)
+	}
+}
+
+func metricsSortedOK(w io.Writer, snaps map[string]snapshotter) {
+	var keys []string
+	for k := range snaps {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		_ = snaps[k].WriteMetrics(w)
+	}
+}

@@ -1,6 +1,10 @@
 package model
 
-import "sync"
+import (
+	"sync"
+
+	"twocs/internal/telemetry"
+)
 
 // The grid sweeps evaluate the same layer operator graphs over and over:
 // a Figure 12/13 evolution grid visits each (H, SL, B, TP) shape once
@@ -37,8 +41,10 @@ func cachedOps(c Config, tp int, phase Phase, build func(Config, int) ([]OpDesc,
 	}
 	key := opsKey{shape: shapeOf(c), tp: tp, phase: phase}
 	if ops, ok := opsCache.Load(key); ok {
+		telemetry.Active().Count("model.opscache.hit", 1)
 		return ops.([]OpDesc), nil
 	}
+	telemetry.Active().Count("model.opscache.miss", 1)
 	ops, err := build(c, tp)
 	if err != nil {
 		return nil, err

@@ -11,8 +11,12 @@ package parallel
 import (
 	"fmt"
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"twocs/internal/telemetry"
 )
 
 // Workers resolves a worker-count setting: n > 0 requests exactly n
@@ -51,10 +55,22 @@ func Map[T any](workers, n int, fn func(int) (T, error)) ([]T, error) {
 	if workers > n {
 		workers = n
 	}
+	// Self-telemetry: when a collector is active, every worker gets its
+	// own trace lane carrying one span per task, so a -trace export
+	// shows exactly how the grid was scheduled; counters and the
+	// utilization gauge summarize the same picture. With telemetry
+	// disabled (tel == nil) each hook below is a nil-receiver no-op
+	// that performs no allocation — the sweep hot path stays free.
+	tel := telemetry.Active()
+	tel.Count("parallel.map.calls", 1)
+	tel.Count("parallel.map.tasks", int64(n))
 	out := make([]T, n)
 	if workers == 1 {
+		lane := tel.Lane("sweep-worker 0")
 		for i := 0; i < n; i++ {
+			sp := lane.StartIndexed("task", i)
 			v, err := fn(i)
+			tel.Observe("parallel.task.wall_ns", int64(sp.End()))
 			if err != nil {
 				return nil, err
 			}
@@ -71,11 +87,35 @@ func Map[T any](workers, n int, fn func(int) (T, error)) ([]T, error) {
 		mu          sync.Mutex
 		firstErr    error
 		firstErrIdx = n
+
+		mapStart  time.Time
+		busyTotal atomic.Int64
 	)
+	if tel != nil {
+		mapStart = time.Now()
+	}
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
+			var lane telemetry.Lane
+			var workerStart time.Time
+			if tel != nil {
+				lane = tel.Lane("sweep-worker " + strconv.Itoa(w))
+				workerStart = time.Now()
+			}
+			var busy int64
+			defer func() {
+				if tel == nil {
+					return
+				}
+				busyTotal.Add(busy)
+				tel.Observe("parallel.worker.busy.wall_ns", busy)
+				// Queue wait: the worker's non-task time — claim
+				// overhead plus any tail idling after its last task.
+				tel.Observe("parallel.worker.queuewait.wall_ns",
+					int64(time.Since(workerStart))-busy)
+			}()
 			for {
 				if failed.Load() {
 					return
@@ -84,7 +124,11 @@ func Map[T any](workers, n int, fn func(int) (T, error)) ([]T, error) {
 				if i >= n {
 					return
 				}
+				sp := lane.StartIndexed("task", i)
 				v, err := fn(i)
+				d := sp.End()
+				busy += int64(d)
+				tel.Observe("parallel.task.wall_ns", int64(d))
 				if err != nil {
 					mu.Lock()
 					if i < firstErrIdx {
@@ -96,9 +140,15 @@ func Map[T any](workers, n int, fn func(int) (T, error)) ([]T, error) {
 				}
 				out[i] = v
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
+	if tel != nil {
+		if wall := int64(time.Since(mapStart)) * int64(workers); wall > 0 {
+			tel.SetGauge("parallel.worker.utilization",
+				float64(busyTotal.Load())/float64(wall))
+		}
+	}
 	if firstErr != nil {
 		return nil, firstErr
 	}

@@ -1,12 +1,17 @@
 package parallel
 
 import (
+	"bytes"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"runtime"
+	"strings"
 	"sync/atomic"
 	"testing"
 	"testing/quick"
+
+	"twocs/internal/telemetry"
 )
 
 func TestWorkers(t *testing.T) {
@@ -194,5 +199,62 @@ func TestQuickErrorEqualsSequential(t *testing.T) {
 	}
 	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestMapTelemetryWorkerLanes asserts the trace contract of the ISSUE's
+// acceptance criterion: a Map run with telemetry enabled exports one
+// Chrome-trace thread lane per sweep worker, with every task appearing
+// as a span, and the task counters reflect the grid size.
+func TestMapTelemetryWorkerLanes(t *testing.T) {
+	col := telemetry.NewCollector()
+	telemetry.Enable(col)
+	defer telemetry.Enable(nil)
+
+	const workers, n = 4, 32
+	if _, err := Map(workers, n, func(i int) (int, error) { return i, nil }); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := col.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	lanes := make(map[string]bool)
+	taskSpans := 0
+	for _, e := range events {
+		switch e["ph"] {
+		case "M":
+			if e["name"] == "thread_name" {
+				if args, ok := e["args"].(map[string]any); ok {
+					lanes[args["name"].(string)] = true
+				}
+			}
+		case "X":
+			if strings.HasPrefix(e["name"].(string), "task ") {
+				taskSpans++
+			}
+		}
+	}
+	for w := 0; w < workers; w++ {
+		if !lanes[fmt.Sprintf("sweep-worker %d", w)] {
+			t.Errorf("trace missing lane for worker %d (lanes: %v)", w, lanes)
+		}
+	}
+	if taskSpans != n {
+		t.Errorf("trace has %d task spans, want %d", taskSpans, n)
+	}
+
+	snap := col.Snapshot()
+	counters := make(map[string]int64)
+	for _, c := range snap.Counters {
+		counters[c.Name] = c.Value
+	}
+	if counters["parallel.map.calls"] != 1 || counters["parallel.map.tasks"] != n {
+		t.Errorf("map counters: %v", counters)
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"sync"
 
+	"twocs/internal/telemetry"
 	"twocs/internal/units"
 )
 
@@ -29,10 +30,17 @@ func NewLedger() *Ledger {
 }
 
 // Add charges cost under a named line item (accumulating repeats).
+// Each successful charge is also recorded with the active telemetry
+// collector: a charge-event counter plus a histogram of the simulated
+// cost — the ledger is the §4.3.8 cost argument, so its activity is
+// the first thing an engine trace should show.
 func (l *Ledger) Add(item string, cost units.Seconds) error {
 	if cost < 0 {
 		return fmt.Errorf("profile: negative cost %v for %q", cost, item)
 	}
+	tel := telemetry.Active()
+	tel.Count("profile.ledger.charge", 1)
+	tel.Observe("profile.ledger.charge.sim_ns", telemetry.SimNanos(float64(cost)))
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if _, ok := l.entries[item]; !ok {
@@ -60,34 +68,28 @@ func (l *Ledger) Total() units.Seconds {
 	return t
 }
 
+// LineItem is one named cost entry of a Ledger.
+type LineItem struct {
+	Name string
+	Cost units.Seconds
+}
+
 // Items returns line items in insertion order. Under concurrent Adds the
 // insertion order reflects goroutine completion order; callers that need
 // run-to-run stable output should sort (TopItems already does).
-func (l *Ledger) Items() []struct {
-	Name string
-	Cost units.Seconds
-} {
+func (l *Ledger) Items() []LineItem {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	out := make([]struct {
-		Name string
-		Cost units.Seconds
-	}, 0, len(l.order))
+	out := make([]LineItem, 0, len(l.order))
 	for _, n := range l.order {
-		out = append(out, struct {
-			Name string
-			Cost units.Seconds
-		}{n, l.entries[n]})
+		out = append(out, LineItem{Name: n, Cost: l.entries[n]})
 	}
 	return out
 }
 
 // TopItems returns the k most expensive line items, descending, with
 // ties broken by name so the order is deterministic.
-func (l *Ledger) TopItems(k int) []struct {
-	Name string
-	Cost units.Seconds
-} {
+func (l *Ledger) TopItems(k int) []LineItem {
 	items := l.Items()
 	sort.Slice(items, func(i, j int) bool {
 		if items[i].Cost > items[j].Cost {

@@ -1,0 +1,52 @@
+#!/bin/sh
+# bench_sweep.sh — run the sweep-engine benchmarks and record the
+# baseline as machine-readable JSON at the repo root (BENCH_sweep.json).
+#
+# The recorded numbers are the telemetry layer's performance contract:
+# with no collector enabled the instrumented sweeps must stay within a
+# few percent of these (the span hot path is a nil check), so regressions
+# show up as a diff in this file.
+#
+# Usage: scripts/bench_sweep.sh [output.json]
+# Environment: BENCH_COUNT (default 3) -count passed to go test.
+set -eu
+
+out="${1:-BENCH_sweep.json}"
+count="${BENCH_COUNT:-3}"
+cd "$(dirname "$0")/.."
+
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+go test -run '^$' -bench 'Sweep|EvolutionGrid' -benchmem -count="$count" . | tee "$raw" >&2
+
+# Parse `BenchmarkName-P  N  ns/op  B/op  allocs/op` lines into JSON,
+# keeping the best (minimum) ns/op across repetitions, as benchstat's
+# central tendency would. awk only — no dependencies beyond the Go
+# toolchain and POSIX sh.
+awk -v count="$count" '
+/^Benchmark/ && NF >= 7 {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    ns = $3 + 0
+    bytes = $5 + 0
+    allocs = $7 + 0
+    if (!(name in best) || ns < best[name]) {
+        best[name] = ns
+        bestBytes[name] = bytes
+        bestAllocs[name] = allocs
+    }
+    if (!(name in seen)) { order[n++] = name; seen[name] = 1 }
+}
+END {
+    printf "{\n  \"unit\": {\"time\": \"ns/op\", \"mem\": \"B/op\", \"allocs\": \"allocs/op\"},\n"
+    printf "  \"count\": %d,\n  \"benchmarks\": [\n", count
+    for (i = 0; i < n; i++) {
+        name = order[i]
+        printf "    {\"name\": \"%s\", \"ns_per_op\": %d, \"bytes_per_op\": %d, \"allocs_per_op\": %d}%s\n",
+            name, best[name], bestBytes[name], bestAllocs[name], (i < n-1) ? "," : ""
+    }
+    printf "  ]\n}\n"
+}' "$raw" > "$out"
+
+echo "wrote $out" >&2
