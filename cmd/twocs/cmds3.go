@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -172,7 +173,7 @@ func cmdProject(args []string, w io.Writer) error {
 
 // cmdTimeline projects the communication share of every published model
 // at its era's TP degree — the paper's narrative as one table.
-func cmdTimeline(args []string, w io.Writer) error {
+func cmdTimeline(ctx context.Context, args []string, w io.Writer) error {
 	fs := newFlagSet("timeline")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -181,7 +182,7 @@ func cmdTimeline(args []string, w io.Writer) error {
 	if err != nil {
 		return err
 	}
-	rows, err := a.ZooTimeline(model.Zoo())
+	rows, err := a.ZooTimelineCtx(ctx, model.Zoo())
 	if err != nil {
 		return err
 	}
@@ -200,7 +201,7 @@ func cmdTimeline(args []string, w io.Writer) error {
 }
 
 // cmdScaling sweeps TP×DP splits of a fixed device budget.
-func cmdScaling(args []string, w io.Writer) error {
+func cmdScaling(ctx context.Context, args []string, w io.Writer) error {
 	fs := newFlagSet("scaling")
 	h := fs.Int("h", 8192, "hidden dimension")
 	layers := fs.Int("layers", 8, "layer count to simulate")
@@ -218,7 +219,7 @@ func cmdScaling(args []string, w io.Writer) error {
 		return err
 	}
 	cfg.Layers = *layers
-	rows, err := a.ScalingStudy(cfg, *devices,
+	rows, err := a.ScalingStudyCtx(ctx, cfg, *devices,
 		[]int{2, 4, 8, 16, 32, 64, 128}, evoFlag(*flopbw))
 	if err != nil {
 		return err

@@ -22,25 +22,53 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"runtime/pprof"
+	"syscall"
 
 	"twocs/internal/core"
 	"twocs/internal/hw"
 	"twocs/internal/model"
+	"twocs/internal/parallel"
 	"twocs/internal/report"
 	"twocs/internal/telemetry"
 	"twocs/internal/units"
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	// SIGINT/SIGTERM cancel the run's context: sweeps stop claiming grid
+	// points, partial results render, and the deferred telemetry/profile
+	// flushes in runCtx still execute. A second signal after stop()
+	// restores default handling, so a stuck run can always be killed.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	err := runCtx(ctx, os.Args[1:], os.Stdout)
+	stop()
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "twocs:", err)
-		os.Exit(1)
+		var pan *parallel.PanicError
+		if errors.As(err, &pan) {
+			fmt.Fprintf(os.Stderr, "twocs: panic stack:\n%s", pan.Stack)
+		}
+		os.Exit(exitCode(err))
 	}
+}
+
+// exitCode maps an error to the documented exit status: 3 for a run
+// that was interrupted, timed out, or produced only partial results;
+// 1 for every other failure.
+func exitCode(err error) int {
+	var pe *parallel.PartialError
+	if errors.As(err, &pe) ||
+		errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return 3
+	}
+	return 1
 }
 
 // workerCount is the global -workers setting consumed by newAnalyzer:
@@ -89,7 +117,14 @@ func newFlagSet(name string) *flag.FlagSet {
 	return fs
 }
 
+// run executes one CLI invocation with no external cancellation; tests
+// and library callers use it. runCtx is the signal- and timeout-aware
+// entry point main uses.
 func run(args []string, w io.Writer) error {
+	return runCtx(context.Background(), args, w)
+}
+
+func runCtx(ctx context.Context, args []string, w io.Writer) (err error) {
 	// Reset shared flag state: run is re-entered by tests, and the
 	// current-value-as-default registration below would otherwise leak
 	// one invocation's flags into the next.
@@ -102,6 +137,8 @@ func run(args []string, w io.Writer) error {
 		"write a runtime/pprof CPU profile of this run to `file` (global position only)")
 	memprofile := global.String("memprofile", "",
 		"write a heap profile to `file` at exit (global position only)")
+	timeout := global.Duration("timeout", 0,
+		"abort the run after this duration, keeping partial results (global position only)")
 	global.Usage = usage
 	if err := global.Parse(args); err != nil {
 		if err == flag.ErrHelp {
@@ -115,6 +152,12 @@ func run(args []string, w io.Writer) error {
 		return fmt.Errorf("missing subcommand")
 	}
 	cmd, rest := args[0], args[1:]
+
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -137,21 +180,26 @@ func run(args []string, w io.Writer) error {
 	// decided afterwards. An idle collector costs a few hundred spans
 	// of memory at most; the zero-cost no-op path is for library and
 	// benchmark use, where no collector is ever enabled.
+	//
+	// Export and the heap profile run from a defer against the named
+	// return, so a failing, timed-out, or interrupted subcommand still
+	// flushes its artifacts — the telemetry of a dying run is exactly
+	// the telemetry worth keeping.
 	col := telemetry.NewCollector()
 	telemetry.Enable(col)
 	defer telemetry.Enable(nil)
-
-	err := dispatch(cmd, rest, w)
-
-	if expErr := exportTelemetry(col); expErr != nil && err == nil {
-		err = expErr
-	}
-	if *memprofile != "" {
-		if memErr := writeHeapProfile(*memprofile); memErr != nil && err == nil {
-			err = memErr
+	defer func() {
+		if expErr := exportTelemetry(col); expErr != nil && err == nil {
+			err = expErr
 		}
-	}
-	return err
+		if *memprofile != "" {
+			if memErr := writeHeapProfile(*memprofile); memErr != nil && err == nil {
+				err = memErr
+			}
+		}
+	}()
+
+	return dispatch(ctx, cmd, rest, w)
 }
 
 func exportTelemetry(col *telemetry.Collector) error {
@@ -192,7 +240,10 @@ func writeHeapProfile(path string) error {
 	return nil
 }
 
-func dispatch(cmd string, rest []string, w io.Writer) error {
+// dispatch routes to the subcommand. The context reaches the commands
+// that drive long sweeps or simulations (cancellation stops their grid
+// fan-out mid-run); the quick table printers ignore it.
+func dispatch(ctx context.Context, cmd string, rest []string, w io.Writer) error {
 	switch cmd {
 	case "zoo":
 		return cmdZoo(rest, w)
@@ -203,11 +254,11 @@ func dispatch(cmd string, rest []string, w io.Writer) error {
 	case "tp":
 		return cmdTP(rest, w)
 	case "serialized":
-		return cmdSerialized(rest, w)
+		return cmdSerialized(ctx, rest, w)
 	case "overlapped":
-		return cmdOverlapped(rest, w)
+		return cmdOverlapped(ctx, rest, w)
 	case "casestudy":
-		return cmdCaseStudy(rest, w)
+		return cmdCaseStudy(ctx, rest, w)
 	case "validate":
 		return cmdValidate(rest, w)
 	case "speedup":
@@ -227,9 +278,9 @@ func dispatch(cmd string, rest []string, w io.Writer) error {
 	case "gantt":
 		return cmdGantt(rest, w)
 	case "scaling":
-		return cmdScaling(rest, w)
+		return cmdScaling(ctx, rest, w)
 	case "timeline":
-		return cmdTimeline(rest, w)
+		return cmdTimeline(ctx, rest, w)
 	case "calibrate":
 		return cmdCalibrate(rest, w)
 	case "project":
@@ -238,6 +289,8 @@ func dispatch(cmd string, rest []string, w io.Writer) error {
 		return cmdMemSim(rest, w)
 	case "diagnose":
 		return cmdDiagnose(rest, w)
+	case "degradation":
+		return cmdDegradation(ctx, rest, w)
 	case "help", "-h", "--help":
 		usage()
 		return nil
@@ -252,12 +305,20 @@ func usage() {
 
 global flags:
   -workers N      worker goroutines for grid sweeps (0 = all CPUs, 1 = sequential)
+  -timeout D      abort the run after duration D (e.g. 30s), keeping partial
+                  results (global position only)
   -trace FILE     write a Chrome trace of the engine's telemetry spans
                   (Perfetto-loadable; also accepted after the subcommand,
                   except for gantt, whose -trace exports the simulated run)
   -metrics        print the telemetry metrics snapshot to stderr at exit
   -cpuprofile F   write a runtime/pprof CPU profile (global position only)
   -memprofile F   write a heap profile at exit (global position only)
+
+exit status:
+  0  success
+  1  error
+  3  interrupted (SIGINT/SIGTERM) or timed out; any partial results were
+     printed with "(canceled)" cells and telemetry/profiles were flushed
 
 subcommands:
   zoo          Table 2: published-model zoo and parameter counts
@@ -282,6 +343,7 @@ extensions:
   memsim       simulate one iteration's memory timeline
   timeline     comm share of every zoo model at its era's TP
   scaling      throughput vs TP×DP split of a fixed device budget
+  degradation  comm fraction under partial hardware failure (-straggler)
   calibrate    profile the baseline and save the operator model (-o)
   project      project a config from a saved calibration (-calibration)`)
 }
@@ -392,7 +454,7 @@ func cmdTP(args []string, w io.Writer) error {
 	return t.Render(w)
 }
 
-func cmdSerialized(args []string, w io.Writer) error {
+func cmdSerialized(ctx context.Context, args []string, w io.Writer) error {
 	fs := newFlagSet("serialized")
 	flopbw := fs.Float64("flopbw", 1, "flop-vs-bw hardware scaling (1, 2 or 4)")
 	b := fs.Int("b", 1, "batch size")
@@ -404,22 +466,33 @@ func cmdSerialized(args []string, w io.Writer) error {
 	if err != nil {
 		return err
 	}
-	pts, err := a.SerializedSweep(core.Table3Hs(), core.Table3SLs(), core.Table3TPs(), *b, evoFlag(*flopbw))
-	if err != nil {
+	pts, err := a.SerializedSweepCtx(ctx, core.Table3Hs(), core.Table3SLs(), core.Table3TPs(), *b, evoFlag(*flopbw))
+	pe, partial := partialSweep(err)
+	if err != nil && !partial {
 		return err
 	}
 	title := fmt.Sprintf("Figure 10/12: serialized comm fraction of training time (flop-vs-bw %gx, B=%d)", *flopbw, *b)
 	t := report.NewTable(title, "H", "SL", "TP", "comm fraction (%)")
-	for _, p := range pts {
-		t.AddRow(fmt.Sprint(p.H), fmt.Sprint(p.SL), fmt.Sprint(p.TP), report.Pct(p.Fraction))
+	for i, p := range pts {
+		frac := report.Pct(p.Fraction)
+		if partial && !pe.Completed[i] {
+			frac = canceledCell
+		}
+		t.AddRow(fmt.Sprint(p.H), fmt.Sprint(p.SL), fmt.Sprint(p.TP), frac)
 	}
 	if *csv {
-		return t.RenderCSV(w)
+		if rErr := t.RenderCSV(w); rErr != nil {
+			return rErr
+		}
+		return err
 	}
-	return t.Render(w)
+	if rErr := t.Render(w); rErr != nil {
+		return rErr
+	}
+	return err
 }
 
-func cmdOverlapped(args []string, w io.Writer) error {
+func cmdOverlapped(ctx context.Context, args []string, w io.Writer) error {
 	fs := newFlagSet("overlapped")
 	flopbw := fs.Float64("flopbw", 1, "flop-vs-bw hardware scaling (1, 2 or 4)")
 	tp := fs.Int("tp", 16, "tensor-parallel degree of the sliced model")
@@ -431,22 +504,33 @@ func cmdOverlapped(args []string, w io.Writer) error {
 	if err != nil {
 		return err
 	}
-	pts, err := a.OverlappedSweep(core.Table3Hs(), core.Table3SLs(), *tp, evoFlag(*flopbw))
-	if err != nil {
+	pts, err := a.OverlappedSweepCtx(ctx, core.Table3Hs(), core.Table3SLs(), *tp, evoFlag(*flopbw))
+	pe, partial := partialSweep(err)
+	if err != nil && !partial {
 		return err
 	}
 	title := fmt.Sprintf("Figure 11/13: overlapped comm as %% of compute (flop-vs-bw %gx, TP=%d); >=100 means exposed", *flopbw, *tp)
 	t := report.NewTable(title, "H", "SL·B", "overlap (%)")
-	for _, p := range pts {
-		t.AddRow(fmt.Sprint(p.H), fmt.Sprint(p.SLB), fmt.Sprintf("%.1f", p.Percent))
+	for i, p := range pts {
+		pct := fmt.Sprintf("%.1f", p.Percent)
+		if partial && !pe.Completed[i] {
+			pct = canceledCell
+		}
+		t.AddRow(fmt.Sprint(p.H), fmt.Sprint(p.SLB), pct)
 	}
 	if *csv {
-		return t.RenderCSV(w)
+		if rErr := t.RenderCSV(w); rErr != nil {
+			return rErr
+		}
+		return err
 	}
-	return t.Render(w)
+	if rErr := t.Render(w); rErr != nil {
+		return rErr
+	}
+	return err
 }
 
-func cmdCaseStudy(args []string, w io.Writer) error {
+func cmdCaseStudy(ctx context.Context, args []string, w io.Writer) error {
 	fs := newFlagSet("casestudy")
 	layers := fs.Int("layers", 16, "layer count to simulate (fractions are stable beyond ~8)")
 	flopbw := fs.Float64("flopbw", 4, "flop-vs-bw hardware scaling")
@@ -462,7 +546,7 @@ func cmdCaseStudy(args []string, w io.Writer) error {
 		return err
 	}
 	cfg.Layers = *layers
-	res, err := a.CaseStudy(cfg, 128, 4, hw.FlopVsBWScenario(*flopbw), core.PaperScenariosFig14())
+	res, err := a.CaseStudyCtx(ctx, cfg, 128, 4, hw.FlopVsBWScenario(*flopbw), core.PaperScenariosFig14())
 	if err != nil {
 		return err
 	}

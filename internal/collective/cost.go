@@ -145,6 +145,10 @@ func PathForGroup(c hw.Cluster, devices int) (NetPath, error) {
 type CostModel struct {
 	Path NetPath
 	Algo Algorithm
+
+	// faultScale stretches every priced collective, set by WithFault;
+	// 0 (any model built without it) means healthy. See stepScale.
+	faultScale float64
 }
 
 // NewCostModel validates and builds a cost model.
@@ -183,13 +187,13 @@ func (c *CostModel) AllReduce(n int, bytes units.Bytes) (units.Seconds, error) {
 	case Ring:
 		// Reduce-scatter then all-gather: 2(N-1) steps of bytes/N.
 		chunk := b / float64(n)
-		return units.Seconds(2 * float64(n-1) * float64(c.Path.transfer(chunk))), nil
+		return c.derate(units.Seconds(2*float64(n-1)*float64(c.Path.transfer(chunk))), nil)
 	case Tree:
 		steps := 2 * math.Ceil(math.Log2(float64(n)))
-		return units.Seconds(steps * float64(c.Path.transfer(b))), nil
+		return c.derate(units.Seconds(steps*float64(c.Path.transfer(b))), nil)
 	case InNetwork:
 		// One push to the switch, one result return.
-		return 2 * c.Path.transfer(b), nil
+		return c.derate(2*c.Path.transfer(b), nil)
 	}
 	return 0, fmt.Errorf("collective: unreachable algorithm %v", c.Algo)
 }
@@ -204,7 +208,7 @@ func (c *CostModel) ReduceScatter(n int, bytes units.Bytes) (units.Seconds, erro
 		return 0, nil
 	}
 	chunk := float64(bytes) / float64(n)
-	return units.Seconds(float64(n-1) * float64(c.Path.transfer(chunk))), nil
+	return c.derate(units.Seconds(float64(n-1)*float64(c.Path.transfer(chunk))), nil)
 }
 
 // AllGather returns the time to all-gather a result of `bytes` total
@@ -224,7 +228,7 @@ func (c *CostModel) AllToAll(n int, bytes units.Bytes) (units.Seconds, error) {
 		return 0, nil
 	}
 	shard := float64(bytes) / float64(n)
-	return units.Seconds(float64(n-1) * float64(c.Path.transfer(shard))), nil
+	return c.derate(units.Seconds(float64(n-1)*float64(c.Path.transfer(shard))), nil)
 }
 
 // Broadcast returns the time to pipeline `bytes` from one root to all n
@@ -238,7 +242,7 @@ func (c *CostModel) Broadcast(n int, bytes units.Bytes) (units.Seconds, error) {
 	}
 	// Pipelined ring broadcast: fill time ~ (N-1) latencies + transfer.
 	fill := float64(n-1) * float64(c.Path.Latency)
-	return units.Seconds(fill + float64(c.Path.transfer(float64(bytes)))), nil
+	return c.derate(units.Seconds(fill+float64(c.Path.transfer(float64(bytes)))), nil)
 }
 
 // PointToPoint returns the time to send `bytes` from one rank to another
@@ -251,7 +255,7 @@ func (c *CostModel) PointToPoint(bytes units.Bytes) (units.Seconds, error) {
 	if bytes == 0 {
 		return 0, nil
 	}
-	return c.Path.transfer(float64(bytes)), nil
+	return c.derate(c.Path.transfer(float64(bytes)), nil)
 }
 
 // BusBandwidth returns the effective all-reduce "bus bandwidth" for a

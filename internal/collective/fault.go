@@ -1,0 +1,103 @@
+package collective
+
+import (
+	"fmt"
+
+	"twocs/internal/units"
+)
+
+// This file is the fault-injection hook of the collective cost models.
+// Production clusters degrade long before they fail outright — a link
+// renegotiates to half rate, one rank's clocks throttle, per-step
+// software jitter accumulates — and because ring collectives are
+// lock-step round exchanges, every such partial failure paces the whole
+// group (the straggler globalization the TP-group simulation
+// demonstrates in TestTPGroupStragglerSlowsEveryone). The degradation
+// study in internal/core drives these faults to ask how the paper's
+// comm-fraction conclusions shift when the hardware is only mostly
+// healthy.
+
+// Fault describes one partial-hardware-failure condition injected into
+// a collective cost model. The zero value is invalid; start from
+// Healthy() and degrade fields.
+type Fault struct {
+	Name string
+	// LinkBandwidthFraction scales the path bandwidth, in (0, 1]:
+	// every ring round crosses every link, so one link renegotiated to
+	// a fraction of its rate bottlenecks the whole ring at that
+	// fraction. 1 means no link degradation.
+	LinkBandwidthFraction float64
+	// StragglerSlowdown (>= 1) stretches every synchronous round by the
+	// slowest rank's factor: ring rounds are lock-step, so one throttled
+	// rank paces all of them. 1 means no straggler.
+	StragglerSlowdown float64
+	// StepJitterFraction (>= 0) adds a fractional per-step overhead
+	// modeling OS noise and software jitter accumulated each round.
+	// 0 means no jitter.
+	StepJitterFraction float64
+}
+
+// Healthy returns the no-fault condition.
+func Healthy() Fault {
+	return Fault{Name: "healthy", LinkBandwidthFraction: 1, StragglerSlowdown: 1}
+}
+
+// Validate rejects physically meaningless fault descriptions.
+func (f Fault) Validate() error {
+	if f.LinkBandwidthFraction <= 0 || f.LinkBandwidthFraction > 1 {
+		return fmt.Errorf("collective: fault %q link bandwidth fraction %v outside (0, 1]",
+			f.Name, f.LinkBandwidthFraction)
+	}
+	if f.StragglerSlowdown < 1 {
+		return fmt.Errorf("collective: fault %q straggler slowdown %v < 1",
+			f.Name, f.StragglerSlowdown)
+	}
+	if f.StepJitterFraction < 0 {
+		return fmt.Errorf("collective: fault %q negative step jitter %v",
+			f.Name, f.StepJitterFraction)
+	}
+	return nil
+}
+
+// scale is the multiplier a fault applies to every synchronous round.
+func (f Fault) scale() float64 {
+	return f.StragglerSlowdown * (1 + f.StepJitterFraction)
+}
+
+// WithFault returns a cost model pricing the same algorithm over the
+// degraded path: bandwidth scaled by the fault's link fraction, and
+// every priced collective stretched by the straggler and jitter
+// factors. The receiver is not modified.
+func (c *CostModel) WithFault(f Fault) (*CostModel, error) {
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	p := c.Path
+	p.Bandwidth = units.ByteRate(float64(p.Bandwidth) * f.LinkBandwidthFraction)
+	out, err := NewCostModel(p, c.Algo)
+	if err != nil {
+		return nil, err
+	}
+	out.faultScale = c.stepScale() * f.scale()
+	return out, nil
+}
+
+// stepScale resolves the fault multiplier; 0 (a model built without
+// WithFault, including by struct literal) means healthy.
+func (c *CostModel) stepScale() float64 {
+	if c.faultScale <= 0 {
+		return 1
+	}
+	return c.faultScale
+}
+
+// derate applies the fault's round stretching to a priced duration.
+func (c *CostModel) derate(d units.Seconds, err error) (units.Seconds, error) {
+	if err != nil {
+		return 0, err
+	}
+	if s := c.stepScale(); s > 1 {
+		return units.Seconds(float64(d) * s), nil
+	}
+	return d, nil
+}

@@ -1,0 +1,154 @@
+package collective
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"twocs/internal/units"
+)
+
+func testModel(t *testing.T, algo Algorithm) *CostModel {
+	t.Helper()
+	c, err := NewCostModel(NetPath{
+		Bandwidth: units.GBps(100),
+		Latency:   2 * units.Microsecond,
+	}, algo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestFaultValidateRejections(t *testing.T) {
+	cases := []struct {
+		name string
+		f    Fault
+		want string
+	}{
+		{"zero value", Fault{}, "link bandwidth fraction"},
+		{"link over one", Fault{LinkBandwidthFraction: 1.5, StragglerSlowdown: 1}, "link bandwidth fraction"},
+		{"speedup straggler", Fault{LinkBandwidthFraction: 1, StragglerSlowdown: 0.5}, "straggler slowdown"},
+		{"negative jitter", Fault{LinkBandwidthFraction: 1, StragglerSlowdown: 1, StepJitterFraction: -0.1}, "negative step jitter"},
+	}
+	for _, tc := range cases {
+		err := tc.f.Validate()
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: Validate() = %v, want error mentioning %q", tc.name, err, tc.want)
+		}
+	}
+	if err := Healthy().Validate(); err != nil {
+		t.Errorf("Healthy().Validate() = %v", err)
+	}
+	base := testModel(t, Ring)
+	if _, err := base.WithFault(Fault{}); err == nil {
+		t.Error("WithFault accepted an invalid fault")
+	}
+}
+
+func TestWithFaultHealthyIsIdentity(t *testing.T) {
+	base := testModel(t, Ring)
+	faulted, err := base.WithFault(Healthy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bytes := range []units.Bytes{units.KiB, units.MiB, units.GiB} {
+		h, err1 := base.AllReduce(8, bytes)
+		f, err2 := faulted.AllReduce(8, bytes)
+		if err1 != nil || err2 != nil {
+			t.Fatal(err1, err2)
+		}
+		if h != f {
+			t.Errorf("healthy fault changed AllReduce(%v): %v != %v", bytes, f, h)
+		}
+	}
+}
+
+func TestWithFaultDegradedLink(t *testing.T) {
+	// At large message sizes the transfer is bandwidth-bound, so a link
+	// renegotiated to half rate should take ~2x as long.
+	base := testModel(t, Ring)
+	faulted, err := base.WithFault(Fault{
+		Name: "half link", LinkBandwidthFraction: 0.5, StragglerSlowdown: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, _ := base.AllReduce(8, units.GiB)
+	f, _ := faulted.AllReduce(8, units.GiB)
+	ratio := float64(f) / float64(h)
+	if math.Abs(ratio-2) > 0.05 {
+		t.Errorf("half-bandwidth link: slowdown %.3f, want ~2", ratio)
+	}
+	// The receiver must be untouched: repricing on the original model
+	// gives the healthy time.
+	if h2, _ := base.AllReduce(8, units.GiB); h2 != h {
+		t.Error("WithFault mutated the receiver")
+	}
+}
+
+func TestWithFaultStragglerAndJitterMultiply(t *testing.T) {
+	for _, algo := range []Algorithm{Ring, Tree, InNetwork} {
+		base := testModel(t, algo)
+		faulted, err := base.WithFault(Fault{
+			Name: "straggler+jitter", LinkBandwidthFraction: 1,
+			StragglerSlowdown: 1.5, StepJitterFraction: 0.1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		h, _ := base.AllReduce(16, units.MiB)
+		f, _ := faulted.AllReduce(16, units.MiB)
+		want := 1.5 * 1.1
+		if ratio := float64(f) / float64(h); math.Abs(ratio-want) > 1e-9 {
+			t.Errorf("%v: straggler 1.5 + jitter 0.1 slowdown %.6f, want %.6f", algo, ratio, want)
+		}
+	}
+}
+
+func TestWithFaultDeratesEveryCollective(t *testing.T) {
+	base := testModel(t, Ring)
+	faulted, err := base.WithFault(Fault{
+		Name: "straggler 2x", LinkBandwidthFraction: 1, StragglerSlowdown: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	type priced func(*CostModel) (units.Seconds, error)
+	cases := map[string]priced{
+		"AllReduce":     func(c *CostModel) (units.Seconds, error) { return c.AllReduce(8, units.MiB) },
+		"ReduceScatter": func(c *CostModel) (units.Seconds, error) { return c.ReduceScatter(8, units.MiB) },
+		"AllGather":     func(c *CostModel) (units.Seconds, error) { return c.AllGather(8, units.MiB) },
+		"AllToAll":      func(c *CostModel) (units.Seconds, error) { return c.AllToAll(8, units.MiB) },
+		"Broadcast":     func(c *CostModel) (units.Seconds, error) { return c.Broadcast(8, units.MiB) },
+		"PointToPoint":  func(c *CostModel) (units.Seconds, error) { return c.PointToPoint(units.MiB) },
+	}
+	for name, fn := range cases {
+		h, err1 := fn(base)
+		f, err2 := fn(faulted)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("%s: %v %v", name, err1, err2)
+		}
+		if ratio := float64(f) / float64(h); math.Abs(ratio-2) > 1e-9 {
+			t.Errorf("%s: 2x straggler gave slowdown %.6f, want 2", name, ratio)
+		}
+	}
+}
+
+func TestWithFaultComposes(t *testing.T) {
+	// Stacking WithFault twice multiplies the round stretch factors.
+	base := testModel(t, Ring)
+	once, err := base.WithFault(Fault{Name: "a", LinkBandwidthFraction: 1, StragglerSlowdown: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	twice, err := once.WithFault(Fault{Name: "b", LinkBandwidthFraction: 1, StragglerSlowdown: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, _ := base.AllReduce(8, units.MiB)
+	f, _ := twice.AllReduce(8, units.MiB)
+	if ratio := float64(f) / float64(h); math.Abs(ratio-6) > 1e-9 {
+		t.Errorf("stacked faults: slowdown %.6f, want 6", ratio)
+	}
+}

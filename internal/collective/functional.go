@@ -44,20 +44,33 @@ func min(a, b int) int {
 	return b
 }
 
+// validateUniform rejects rank sets whose buffers disagree in length
+// before any ring goroutine is spawned. A ragged buffer would mis-slice
+// the chunkBounds windows mid-ring — panicking a rank goroutine or
+// silently corrupting the reduction — so every reducing collective
+// checks up front and returns a plain error instead.
+func validateUniform(inputs [][]float64) (width int, err error) {
+	if len(inputs) == 0 {
+		return 0, fmt.Errorf("collective: no ranks")
+	}
+	width = len(inputs[0])
+	for r, in := range inputs {
+		if len(in) != width {
+			return 0, fmt.Errorf("collective: rank %d has length %d, want %d", r, len(in), width)
+		}
+	}
+	return width, nil
+}
+
 // RingAllReduce sums the per-rank input vectors using the bandwidth-
 // optimal ring algorithm (reduce-scatter followed by all-gather) and
 // returns each rank's final buffer plus execution statistics. All inputs
 // must share one length. Inputs are not mutated.
 func RingAllReduce(inputs [][]float64) ([][]float64, Stats, error) {
 	n := len(inputs)
-	if n == 0 {
-		return nil, Stats{}, fmt.Errorf("collective: no ranks")
-	}
-	width := len(inputs[0])
-	for r, in := range inputs {
-		if len(in) != width {
-			return nil, Stats{}, fmt.Errorf("collective: rank %d has length %d, want %d", r, len(in), width)
-		}
+	width, err := validateUniform(inputs)
+	if err != nil {
+		return nil, Stats{}, err
 	}
 	bufs := make([][]float64, n)
 	for r := range inputs {
@@ -146,11 +159,17 @@ func RingAllGather(shards [][]float64) ([][]float64, Stats, error) {
 		return nil, Stats{}, fmt.Errorf("collective: no ranks")
 	}
 	// Assemble the reference result once; the ring moves shard (r-s)
-	// from rank r to r+1 each round.
-	have := make([][][]float64, n) // have[r][i] = shard i if held
+	// from rank r to r+1 each round. Possession is tracked in an explicit
+	// bitmap rather than by nil-checking the shard slices: an empty shard
+	// is a legal zero-length value, and a nil check would misreport it as
+	// "missing" at the end of the ring.
+	have := make([][][]float64, n) // have[r][i] = shard i if held[r][i]
+	held := make([][]bool, n)
 	for r := range shards {
 		have[r] = make([][]float64, n)
+		held[r] = make([]bool, n)
 		have[r][r] = append([]float64(nil), shards[r]...)
+		held[r][r] = true
 	}
 	st := Stats{}
 	bytesSent := make([]float64, n)
@@ -165,13 +184,14 @@ func RingAllGather(shards [][]float64) ([][]float64, Stats, error) {
 		for r := 0; r < n; r++ {
 			ci := ((r-1-s)%n + n) % n
 			have[r][ci] = moved[r]
+			held[r][ci] = true
 		}
 		st.Steps++
 	}
 	out := make([][]float64, n)
 	for r := 0; r < n; r++ {
 		for i := 0; i < n; i++ {
-			if have[r][i] == nil {
+			if !held[r][i] {
 				return nil, Stats{}, fmt.Errorf("collective: rank %d missing shard %d", r, i)
 			}
 			out[r] = append(out[r], have[r][i]...)

@@ -11,14 +11,9 @@ import "fmt"
 // Returns each rank's owned chunk.
 func RingReduceScatter(inputs [][]float64) ([][]float64, Stats, error) {
 	n := len(inputs)
-	if n == 0 {
-		return nil, Stats{}, fmt.Errorf("collective: no ranks")
-	}
-	width := len(inputs[0])
-	for r, in := range inputs {
-		if len(in) != width {
-			return nil, Stats{}, fmt.Errorf("collective: rank %d has length %d, want %d", r, len(in), width)
-		}
+	width, err := validateUniform(inputs)
+	if err != nil {
+		return nil, Stats{}, err
 	}
 	bufs := make([][]float64, n)
 	for r := range inputs {
@@ -97,25 +92,20 @@ func Broadcast(root int, data []float64, n int) ([][]float64, Stats, error) {
 // composition is numerically identical to a flat all-reduce.
 func HierarchicalAllReduce(inputs [][]float64, perGroup int) ([][]float64, error) {
 	n := len(inputs)
-	if n == 0 {
-		return nil, fmt.Errorf("collective: no ranks")
+	width, err := validateUniform(inputs)
+	if err != nil {
+		return nil, err
 	}
 	if perGroup < 1 || n%perGroup != 0 {
 		return nil, fmt.Errorf("collective: %d ranks not divisible into groups of %d", n, perGroup)
 	}
 	groups := n / perGroup
-	width := len(inputs[0])
 
-	// Phase 1: reduce-scatter within each group.
+	// Phase 1: reduce-scatter within each group. Lengths were validated
+	// up front, so the per-group rings cannot see ragged buffers.
 	shards := make([][]float64, n) // shards[rank] = its owned chunk
 	for g := 0; g < groups; g++ {
-		in := inputs[g*perGroup : (g+1)*perGroup]
-		for _, row := range in {
-			if len(row) != width {
-				return nil, fmt.Errorf("collective: ragged input")
-			}
-		}
-		sh, _, err := RingReduceScatter(in)
+		sh, _, err := RingReduceScatter(inputs[g*perGroup : (g+1)*perGroup])
 		if err != nil {
 			return nil, err
 		}

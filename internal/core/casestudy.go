@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"twocs/internal/collective"
@@ -57,6 +58,13 @@ type CaseResult struct {
 // exactly the §4.3.7 progression.
 func (a *Analyzer) CaseStudy(cfg model.Config, tp, dp int, evo hw.Evolution,
 	scenarios []CaseScenario) ([]CaseResult, error) {
+	return a.CaseStudyCtx(context.Background(), cfg, tp, dp, evo, scenarios)
+}
+
+// CaseStudyCtx is CaseStudy with cancellation: once ctx fires the study
+// stops claiming scenarios and returns ctx's error.
+func (a *Analyzer) CaseStudyCtx(ctx context.Context, cfg model.Config, tp, dp int, evo hw.Evolution,
+	scenarios []CaseScenario) ([]CaseResult, error) {
 	defer telemetry.Active().Start("core.CaseStudy").End()
 	if dp < 2 {
 		return nil, fmt.Errorf("core: case study needs DP >= 2, got %d", dp)
@@ -85,7 +93,7 @@ func (a *Analyzer) CaseStudy(cfg model.Config, tp, dp int, evo hw.Evolution,
 
 	// Scenarios simulate concurrently under Analyzer.Workers (they share
 	// the memoized substrate) and return in scenario order.
-	return parallel.Map(a.workers(), len(scenarios), func(i int) (CaseResult, error) {
+	return parallel.MapCtx(ctx, a.workers(), len(scenarios), func(_ context.Context, i int) (CaseResult, error) {
 		sc := scenarios[i]
 		if sc.DPBandwidthFraction <= 0 || sc.Interference < 1 {
 			return CaseResult{}, fmt.Errorf("core: invalid scenario %+v", sc)

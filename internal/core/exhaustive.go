@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"twocs/internal/parallel"
@@ -21,6 +22,14 @@ import (
 // size to a representative depth (real models deepen as they widen,
 // Table 2); nil charges each configuration at its own layer count.
 func (a *Analyzer) ExhaustiveCostStudy(hs, sls, tps []int, b int, layersFor func(h int) int) (*profile.Ledger, error) {
+	return a.ExhaustiveCostStudyCtx(context.Background(), hs, sls, tps, b, layersFor)
+}
+
+// ExhaustiveCostStudyCtx is ExhaustiveCostStudy with cancellation: once
+// ctx fires the sweep stops claiming configurations and the study
+// returns ctx's error. A partially priced ledger would misstate the
+// exhaustive-profiling cost, so this study is strict, not best-effort.
+func (a *Analyzer) ExhaustiveCostStudyCtx(ctx context.Context, hs, sls, tps []int, b int, layersFor func(h int) int) (*profile.Ledger, error) {
 	defer telemetry.Active().Start("core.ExhaustiveCostStudy").End()
 	tasks, err := enumerateSerialized(hs, sls, tps, b)
 	if err != nil {
@@ -33,7 +42,7 @@ func (a *Analyzer) ExhaustiveCostStudy(hs, sls, tps []int, b int, layersFor func
 		name string
 		cost units.Seconds
 	}
-	costs, err := parallel.Map(a.workers(), len(tasks), func(i int) (priced, error) {
+	costs, err := parallel.MapCtx(ctx, a.workers(), len(tasks), func(_ context.Context, i int) (priced, error) {
 		t := tasks[i]
 		cfg := t.cfg
 		if layersFor != nil {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"twocs/internal/collective"
@@ -34,6 +35,12 @@ type ScalingRow struct {
 // under Analyzer.Workers, sharing the memoized substrate, and returned
 // in ascending-TP order.
 func (a *Analyzer) ScalingStudy(cfg model.Config, devices int, tps []int, evo hw.Evolution) ([]ScalingRow, error) {
+	return a.ScalingStudyCtx(context.Background(), cfg, devices, tps, evo)
+}
+
+// ScalingStudyCtx is ScalingStudy with cancellation: once ctx fires the
+// study stops claiming TP×DP splits and returns ctx's error.
+func (a *Analyzer) ScalingStudyCtx(ctx context.Context, cfg model.Config, devices int, tps []int, evo hw.Evolution) ([]ScalingRow, error) {
 	defer telemetry.Active().Start("core.ScalingStudy").End()
 	if devices < 2 {
 		return nil, fmt.Errorf("core: scaling study needs >=2 devices, got %d", devices)
@@ -73,7 +80,7 @@ func (a *Analyzer) ScalingStudy(cfg model.Config, devices int, tps []int, evo hw
 		}
 	}
 
-	out, err := parallel.Map(a.workers(), len(cands), func(i int) (ScalingRow, error) {
+	out, err := parallel.MapCtx(ctx, a.workers(), len(cands), func(_ context.Context, i int) (ScalingRow, error) {
 		tp := cands[i]
 		dp := devices / tp
 		timer := &dist.Timer{Calc: sub.calc, TPModel: sub.ring, DPModel: sub.ring, TP: tp, DP: dp}

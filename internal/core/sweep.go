@@ -1,7 +1,9 @@
 package core
 
 import (
+	"context"
 	"fmt"
+	"math"
 
 	"twocs/internal/hw"
 	"twocs/internal/model"
@@ -93,32 +95,59 @@ type SerializedPoint struct {
 // (H × SL × TP) grid at fixed B under one hardware scenario — the paper's
 // 196-configuration projection from a single baseline (§4.2.4). Points
 // are projected concurrently under Analyzer.Workers and returned in grid
-// order.
+// order. On failure the partial grid is discarded and the error the
+// sequential loop would have hit is returned; SerializedSweepCtx is the
+// best-effort, cancelable variant.
 func (a *Analyzer) SerializedSweep(hs, sls, tps []int, b int, evo hw.Evolution) ([]SerializedPoint, error) {
+	out, err := a.SerializedSweepCtx(context.Background(), hs, sls, tps, b, evo)
+	if err != nil {
+		return nil, parallel.Cause(err)
+	}
+	return out, nil
+}
+
+// SerializedSweepCtx is SerializedSweep with cancellation and graceful
+// degradation: the sweep stops claiming grid points once ctx fires, and
+// instead of discarding a partially completed grid it returns the
+// full-length point slice plus a *parallel.PartialError saying which
+// entries are valid. Incomplete entries keep their grid coordinates
+// (H, SL, B, TP, FlopVsBW) so renderers can name them, with Fraction
+// set to NaN.
+func (a *Analyzer) SerializedSweepCtx(ctx context.Context, hs, sls, tps []int, b int, evo hw.Evolution) ([]SerializedPoint, error) {
 	defer telemetry.Active().Start("core.SerializedSweep").End()
 	tasks, err := enumerateSerialized(hs, sls, tps, b)
 	if err != nil {
 		return nil, err
 	}
-	out, err := parallel.Map(a.workers(), len(tasks), func(i int) (SerializedPoint, error) {
-		t := tasks[i]
-		proj, err := a.SerializedFraction(t.cfg, t.tp, evo)
-		if err != nil {
-			return SerializedPoint{}, err
-		}
-		return SerializedPoint{
-			H: t.h, SL: t.sl, B: b, TP: t.tp,
-			FlopVsBW: evo.FlopVsBW(),
-			Fraction: proj.CommFraction(),
-		}, nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	if len(out) == 0 {
+	if len(tasks) == 0 {
 		return nil, fmt.Errorf("core: empty serialized sweep")
 	}
-	return out, nil
+	out, err := parallel.MapPartial(ctx, a.workers(), len(tasks),
+		func(ctx context.Context, i int) (SerializedPoint, error) {
+			t := tasks[i]
+			proj, err := a.SerializedFraction(t.cfg, t.tp, evo)
+			if err != nil {
+				return SerializedPoint{}, err
+			}
+			return SerializedPoint{
+				H: t.h, SL: t.sl, B: b, TP: t.tp,
+				FlopVsBW: evo.FlopVsBW(),
+				Fraction: proj.CommFraction(),
+			}, nil
+		})
+	if pe, ok := err.(*parallel.PartialError); ok {
+		for i, done := range pe.Completed {
+			if !done {
+				t := tasks[i]
+				out[i] = SerializedPoint{
+					H: t.h, SL: t.sl, B: b, TP: t.tp,
+					FlopVsBW: evo.FlopVsBW(),
+					Fraction: math.NaN(),
+				}
+			}
+		}
+	}
+	return out, err
 }
 
 // SerializedEvolutionGrid runs the Figure 12 study: the full serialized
@@ -127,6 +156,14 @@ func (a *Analyzer) SerializedSweep(hs, sls, tps []int, b int, evo hw.Evolution) 
 // shape across the whole (evolution × H × SL × TP) space. Results are
 // ordered scenario-major, each scenario's points in grid order.
 func (a *Analyzer) SerializedEvolutionGrid(hs, sls, tps []int, b int, evos []hw.Evolution) ([][]SerializedPoint, error) {
+	return a.SerializedEvolutionGridCtx(context.Background(), hs, sls, tps, b, evos)
+}
+
+// SerializedEvolutionGridCtx is SerializedEvolutionGrid with
+// cancellation: once ctx fires the grid stops claiming points and
+// returns ctx's error (strict — scenario slices are only meaningful
+// complete).
+func (a *Analyzer) SerializedEvolutionGridCtx(ctx context.Context, hs, sls, tps []int, b int, evos []hw.Evolution) ([][]SerializedPoint, error) {
 	defer telemetry.Active().Start("core.SerializedEvolutionGrid").End()
 	if len(evos) == 0 {
 		return nil, fmt.Errorf("core: no evolution scenarios")
@@ -138,7 +175,7 @@ func (a *Analyzer) SerializedEvolutionGrid(hs, sls, tps []int, b int, evos []hw.
 	if len(tasks) == 0 {
 		return nil, fmt.Errorf("core: empty serialized sweep")
 	}
-	flat, err := parallel.Map(a.workers(), len(evos)*len(tasks), func(i int) (SerializedPoint, error) {
+	flat, err := parallel.MapCtx(ctx, a.workers(), len(evos)*len(tasks), func(_ context.Context, i int) (SerializedPoint, error) {
 		evo, t := evos[i/len(tasks)], tasks[i%len(tasks)]
 		proj, err := a.SerializedFraction(t.cfg, t.tp, evo)
 		if err != nil {
@@ -193,34 +230,52 @@ func enumerateOverlapped(hs, slbs []int, tp int) ([]serializedTask, error) {
 // holding B=1 and sweeping SL — the reduction the algorithmic analysis
 // licenses (slack = O(SL·B), §4.2.1). ROIs execute concurrently under
 // Analyzer.Workers; the ledger totals are order-independent, and the
-// returned points are in grid order.
+// returned points are in grid order. OverlappedSweepCtx is the
+// best-effort, cancelable variant.
 func (a *Analyzer) OverlappedSweep(hs, slbs []int, tp int, evo hw.Evolution) ([]OverlappedPoint, error) {
+	out, err := a.OverlappedSweepCtx(context.Background(), hs, slbs, tp, evo)
+	if err != nil {
+		return nil, parallel.Cause(err)
+	}
+	return out, nil
+}
+
+// OverlappedSweepCtx is OverlappedSweep with cancellation and graceful
+// degradation, mirroring SerializedSweepCtx: a canceled or failing sweep
+// returns the completed prefix plus a *parallel.PartialError, with
+// incomplete entries keeping their grid coordinates and Percent set to
+// NaN.
+func (a *Analyzer) OverlappedSweepCtx(ctx context.Context, hs, slbs []int, tp int, evo hw.Evolution) ([]OverlappedPoint, error) {
 	defer telemetry.Active().Start("core.OverlappedSweep").End()
 	tasks, err := enumerateOverlapped(hs, slbs, tp)
 	if err != nil {
 		return nil, err
 	}
-	out, err := a.overlappedPoints(tasks, evo)
-	if err != nil {
-		return nil, err
-	}
-	if len(out) == 0 {
+	if len(tasks) == 0 {
 		return nil, fmt.Errorf("core: empty overlapped sweep")
 	}
-	return out, nil
-}
-
-func (a *Analyzer) overlappedPoints(tasks []serializedTask, evo hw.Evolution) ([]OverlappedPoint, error) {
-	return parallel.Map(a.workers(), len(tasks), func(i int) (OverlappedPoint, error) {
-		t := tasks[i]
-		pct, err := a.OverlappedPercent(t.cfg, t.tp, evo)
-		if err != nil {
-			return OverlappedPoint{}, err
+	out, err := parallel.MapPartial(ctx, a.workers(), len(tasks),
+		func(ctx context.Context, i int) (OverlappedPoint, error) {
+			t := tasks[i]
+			pct, err := a.OverlappedPercent(t.cfg, t.tp, evo)
+			if err != nil {
+				return OverlappedPoint{}, err
+			}
+			return OverlappedPoint{
+				H: t.h, SLB: t.sl, FlopVsBW: evo.FlopVsBW(), Percent: pct,
+			}, nil
+		})
+	if pe, ok := err.(*parallel.PartialError); ok {
+		for i, done := range pe.Completed {
+			if !done {
+				t := tasks[i]
+				out[i] = OverlappedPoint{
+					H: t.h, SLB: t.sl, FlopVsBW: evo.FlopVsBW(), Percent: math.NaN(),
+				}
+			}
 		}
-		return OverlappedPoint{
-			H: t.h, SLB: t.sl, FlopVsBW: evo.FlopVsBW(), Percent: pct,
-		}, nil
-	})
+	}
+	return out, err
 }
 
 // OverlappedEvolutionGrid runs the Figure 13 study: the overlapped
@@ -228,6 +283,13 @@ func (a *Analyzer) overlappedPoints(tasks []serializedTask, evo hw.Evolution) ([
 // execute on its memoized substrate; results are ordered scenario-major,
 // each scenario's points in grid order.
 func (a *Analyzer) OverlappedEvolutionGrid(hs, slbs []int, tp int, evos []hw.Evolution) ([][]OverlappedPoint, error) {
+	return a.OverlappedEvolutionGridCtx(context.Background(), hs, slbs, tp, evos)
+}
+
+// OverlappedEvolutionGridCtx is OverlappedEvolutionGrid with
+// cancellation: once ctx fires the grid stops claiming points and
+// returns ctx's error.
+func (a *Analyzer) OverlappedEvolutionGridCtx(ctx context.Context, hs, slbs []int, tp int, evos []hw.Evolution) ([][]OverlappedPoint, error) {
 	defer telemetry.Active().Start("core.OverlappedEvolutionGrid").End()
 	if len(evos) == 0 {
 		return nil, fmt.Errorf("core: no evolution scenarios")
@@ -239,7 +301,7 @@ func (a *Analyzer) OverlappedEvolutionGrid(hs, slbs []int, tp int, evos []hw.Evo
 	if len(tasks) == 0 {
 		return nil, fmt.Errorf("core: empty overlapped sweep")
 	}
-	flat, err := parallel.Map(a.workers(), len(evos)*len(tasks), func(i int) (OverlappedPoint, error) {
+	flat, err := parallel.MapCtx(ctx, a.workers(), len(evos)*len(tasks), func(_ context.Context, i int) (OverlappedPoint, error) {
 		evo, t := evos[i/len(tasks)], tasks[i%len(tasks)]
 		pct, err := a.OverlappedPercent(t.cfg, t.tp, evo)
 		if err != nil {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -32,11 +33,17 @@ type ZooTimelineRow struct {
 // FutureConfig, preserving H, SL, B and layer count. Models are
 // projected concurrently under Analyzer.Workers, in timeline order.
 func (a *Analyzer) ZooTimeline(entries []model.ZooEntry) ([]ZooTimelineRow, error) {
+	return a.ZooTimelineCtx(context.Background(), entries)
+}
+
+// ZooTimelineCtx is ZooTimeline with cancellation: once ctx fires the
+// study stops claiming models and returns ctx's error.
+func (a *Analyzer) ZooTimelineCtx(ctx context.Context, entries []model.ZooEntry) ([]ZooTimelineRow, error) {
 	defer telemetry.Active().Start("core.ZooTimeline").End()
 	if len(entries) == 0 {
 		return nil, fmt.Errorf("core: no models")
 	}
-	return parallel.Map(a.workers(), len(entries), func(i int) (ZooTimelineRow, error) {
+	return parallel.MapCtx(ctx, a.workers(), len(entries), func(_ context.Context, i int) (ZooTimelineRow, error) {
 		e := entries[i]
 		h := nearestPow2(e.Config.Hidden)
 		cfg, err := FutureConfig(h, e.Config.SeqLen, e.Batch)

@@ -22,6 +22,10 @@ type ScheduleOptions struct {
 	// bucketing). 0 or 1 reduces per layer. Larger buckets amortize
 	// per-collective latency but delay the first reduction.
 	DPBucketLayers int
+	// Faults injects partial hardware failures into the simulation
+	// (straggler device, fabric-wide comm derating); the zero value is
+	// healthy.
+	Faults sim.Faults
 }
 
 // Labels used by schedule ops and consumed by the report breakdowns.
@@ -197,7 +201,10 @@ func RunIteration(p Plan, timer *Timer, opts ScheduleOptions) (*IterationReport,
 	if err != nil {
 		return nil, nil, err
 	}
-	trace, err := sim.Run(ops, sim.Config{InterferenceSlowdown: opts.InterferenceSlowdown})
+	trace, err := sim.Run(ops, sim.Config{
+		InterferenceSlowdown: opts.InterferenceSlowdown,
+		Faults:               opts.Faults,
+	})
 	if err != nil {
 		return nil, nil, err
 	}

@@ -1,9 +1,13 @@
 // Package sweeppure exercises the sweeppure analyzer against the real
-// twocs/internal/parallel engine: closures handed to Map/FilterMap must
-// not mutate captured state.
+// twocs/internal/parallel engine: closures handed to Map, MapCtx,
+// MapPartial, or FilterMap must not mutate captured state.
 package sweeppure
 
-import "twocs/internal/parallel"
+import (
+	"context"
+
+	"twocs/internal/parallel"
+)
 
 // --- positives ---
 
@@ -33,6 +37,23 @@ func filterCounterRace(n int) ([]int, error) {
 	})
 }
 
+func ctxSumRace(ctx context.Context, n int) (float64, error) {
+	var total float64
+	_, err := parallel.MapCtx(ctx, 0, n, func(_ context.Context, i int) (float64, error) {
+		total += float64(i) // want "mutates captured variable"
+		return total, nil
+	})
+	return total, err
+}
+
+func partialCounterRace(ctx context.Context, n int) ([]int, error) {
+	count := 0
+	return parallel.MapPartial(ctx, 0, n, func(_ context.Context, i int) (int, error) {
+		count++ // want "mutates captured variable"
+		return count, nil
+	})
+}
+
 type tally struct{ hits int }
 
 func fieldWriteRace(n int) (*tally, error) {
@@ -48,6 +69,12 @@ func fieldWriteRace(n int) (*tally, error) {
 
 func pureOK(xs []float64) ([]float64, error) {
 	return parallel.Map(0, len(xs), func(i int) (float64, error) {
+		return xs[i] * 2, nil
+	})
+}
+
+func ctxPureOK(ctx context.Context, xs []float64) ([]float64, error) {
+	return parallel.MapCtx(ctx, 0, len(xs), func(_ context.Context, i int) (float64, error) {
 		return xs[i] * 2, nil
 	})
 }

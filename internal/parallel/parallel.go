@@ -6,9 +6,16 @@
 // keeping every observable result byte-identical to the sequential
 // loop: outputs are ordered by grid index, and the reported error is
 // the one the sequential loop would have hit first.
+//
+// The engine is hardened for long production sweeps: a panicking task
+// is contained and reported as an error naming its grid index (the
+// process survives, see PanicError), sweeps can be canceled or
+// deadlined through a context (MapCtx), and best-effort runs keep the
+// work already done instead of discarding it (MapPartial).
 package parallel
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"strconv"
@@ -29,6 +36,17 @@ func Workers(n int) int {
 	return runtime.NumCPU()
 }
 
+// checkArgs validates the shared Map/MapCtx/MapPartial arguments.
+func checkArgs(n int, fnNil bool) error {
+	if n < 0 {
+		return fmt.Errorf("parallel: negative task count %d", n)
+	}
+	if fnNil {
+		return fmt.Errorf("parallel: nil task function")
+	}
+	return nil
+}
+
 // Map evaluates fn(0) .. fn(n-1) using at most Workers(workers)
 // goroutines and returns the results indexed like the inputs — the
 // output slice is deterministic regardless of worker count or
@@ -36,20 +54,89 @@ func Workers(n int) int {
 // one worker is requested.
 //
 // Error semantics match the sequential loop: on failure Map returns the
-// error of the lowest failing index. The first observed failure cancels
-// the sweep — no new indices are claimed — but in-flight evaluations
-// finish, which is what makes the lowest-index guarantee hold: indices
-// are claimed monotonically, so every index below a failing one is
-// either complete or in flight when the failure is recorded.
+// error of the lowest failing index. A task that panics does not kill
+// the process; the panic is contained and reported as a *PanicError at
+// that task's index, competing for lowest-index like any other error.
+// The first observed failure cancels the sweep — no new indices are
+// claimed — but in-flight evaluations finish, which is what makes the
+// lowest-index guarantee hold: indices are claimed monotonically, so
+// every index below a failing one is either complete or in flight when
+// the failure is recorded.
 func Map[T any](workers, n int, fn func(int) (T, error)) ([]T, error) {
-	if n < 0 {
-		return nil, fmt.Errorf("parallel: negative task count %d", n)
+	if err := checkArgs(n, fn == nil); err != nil {
+		return nil, err
 	}
-	if fn == nil {
-		return nil, fmt.Errorf("parallel: nil task function")
+	out, oc := mapEngine(context.Background(), workers, n,
+		func(_ context.Context, i int) (T, error) { return fn(i) })
+	if oc.cause != nil {
+		return nil, oc.cause
 	}
+	return out, nil
+}
+
+// FilterMap is Map for sparse grids: fn reports keep=false to skip a
+// grid point (the sweeps skip TP degrees that do not divide a
+// configuration), and the kept results are returned densely in index
+// order. Error semantics are those of Map.
+func FilterMap[T any](workers, n int, fn func(int) (v T, keep bool, err error)) ([]T, error) {
+	type slot struct {
+		v    T
+		keep bool
+	}
+	slots, err := Map(workers, n, func(i int) (slot, error) {
+		v, keep, err := fn(i)
+		return slot{v: v, keep: keep}, err
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]T, 0, len(slots))
+	for _, s := range slots {
+		if s.keep {
+			out = append(out, s.v)
+		}
+	}
+	return out, nil
+}
+
+// outcome is what one engine run observed beyond the result slice.
+type outcome struct {
+	// completed[i] reports task i finished successfully; nDone counts
+	// the true entries.
+	completed []bool
+	nDone     int
+	// cause is nil when all n tasks completed; otherwise the
+	// lowest-index task error (possibly a *PanicError) or, when no task
+	// failed, the context's error.
+	cause error
+	// causeIdx is the grid index of a task-error cause, -1 when the
+	// cause is the context's (or there is none).
+	causeIdx int
+}
+
+// runTask invokes fn(ctx, i) with panic containment: a panicking task
+// becomes a *PanicError naming the grid index, with the stack captured
+// for the report, instead of crashing the process.
+func runTask[T any](ctx context.Context, fn func(context.Context, int) (T, error), i int) (v T, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			telemetry.Active().Count("parallel.task.panics", 1)
+			err = newPanicError(i, r)
+		}
+	}()
+	return fn(ctx, i)
+}
+
+// mapEngine is the shared sweep core behind Map, MapCtx and MapPartial:
+// monotonic index claiming over a bounded pool, panic containment per
+// task, lowest-index error selection, and cooperative cancellation (no
+// new index is claimed once ctx is done or a task has failed; in-flight
+// evaluations always finish). out[i] is only meaningful where
+// completed[i] is true.
+func mapEngine[T any](ctx context.Context, workers, n int, fn func(context.Context, int) (T, error)) ([]T, outcome) {
+	oc := outcome{causeIdx: -1}
 	if n == 0 {
-		return nil, nil
+		return nil, oc
 	}
 	workers = Workers(workers)
 	if workers > n {
@@ -65,23 +152,33 @@ func Map[T any](workers, n int, fn func(int) (T, error)) ([]T, error) {
 	tel.Count("parallel.map.calls", 1)
 	tel.Count("parallel.map.tasks", int64(n))
 	out := make([]T, n)
+	oc.completed = make([]bool, n)
 	if workers == 1 {
 		lane := tel.Lane("sweep-worker 0")
 		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				tel.Count("parallel.map.canceled", 1)
+				oc.cause = err
+				return out, oc
+			}
 			sp := lane.StartIndexed("task", i)
-			v, err := fn(i)
+			v, err := runTask(ctx, fn, i)
 			tel.Observe("parallel.task.wall_ns", int64(sp.End()))
 			if err != nil {
-				return nil, err
+				oc.cause, oc.causeIdx = err, i
+				return out, oc
 			}
 			out[i] = v
+			oc.completed[i] = true
+			oc.nDone++
 		}
-		return out, nil
+		return out, oc
 	}
 
 	var (
 		next   atomic.Int64
 		failed atomic.Bool
+		nDone  atomic.Int64
 		wg     sync.WaitGroup
 
 		mu          sync.Mutex
@@ -117,7 +214,7 @@ func Map[T any](workers, n int, fn func(int) (T, error)) ([]T, error) {
 					int64(time.Since(workerStart))-busy)
 			}()
 			for {
-				if failed.Load() {
+				if failed.Load() || ctx.Err() != nil {
 					return
 				}
 				i := int(next.Add(1)) - 1
@@ -125,7 +222,7 @@ func Map[T any](workers, n int, fn func(int) (T, error)) ([]T, error) {
 					return
 				}
 				sp := lane.StartIndexed("task", i)
-				v, err := fn(i)
+				v, err := runTask(ctx, fn, i)
 				d := sp.End()
 				busy += int64(d)
 				tel.Observe("parallel.task.wall_ns", int64(d))
@@ -139,43 +236,28 @@ func Map[T any](workers, n int, fn func(int) (T, error)) ([]T, error) {
 					return
 				}
 				out[i] = v
+				oc.completed[i] = true
+				nDone.Add(1)
 			}
 		}(w)
 	}
 	wg.Wait()
+	oc.nDone = int(nDone.Load())
 	if tel != nil {
 		if wall := int64(time.Since(mapStart)) * int64(workers); wall > 0 {
 			tel.SetGauge("parallel.worker.utilization",
 				float64(busyTotal.Load())/float64(wall))
 		}
 	}
-	if firstErr != nil {
-		return nil, firstErr
+	switch {
+	case firstErr != nil:
+		// A task error wins over a concurrent cancellation: it is
+		// deterministic with respect to the work that actually ran,
+		// where the cancellation's timing is not.
+		oc.cause, oc.causeIdx = firstErr, firstErrIdx
+	case ctx.Err() != nil && oc.nDone < n:
+		tel.Count("parallel.map.canceled", 1)
+		oc.cause = ctx.Err()
 	}
-	return out, nil
-}
-
-// FilterMap is Map for sparse grids: fn reports keep=false to skip a
-// grid point (the sweeps skip TP degrees that do not divide a
-// configuration), and the kept results are returned densely in index
-// order. Error semantics are those of Map.
-func FilterMap[T any](workers, n int, fn func(int) (v T, keep bool, err error)) ([]T, error) {
-	type slot struct {
-		v    T
-		keep bool
-	}
-	slots, err := Map(workers, n, func(i int) (slot, error) {
-		v, keep, err := fn(i)
-		return slot{v: v, keep: keep}, err
-	})
-	if err != nil {
-		return nil, err
-	}
-	out := make([]T, 0, len(slots))
-	for _, s := range slots {
-		if s.keep {
-			out = append(out, s.v)
-		}
-	}
-	return out, nil
+	return out, oc
 }

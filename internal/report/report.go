@@ -83,11 +83,14 @@ func (t *Table) Render(w io.Writer) error {
 	return nil
 }
 
-// RenderCSV writes the table as CSV (simple quoting: cells containing
-// commas or quotes are quoted with doubled quotes).
+// RenderCSV writes the table as CSV with RFC 4180 quoting: cells
+// containing commas, quotes, or either line-break character are quoted,
+// with embedded quotes doubled. \r matters as much as \n — a bare
+// carriage return inside an unquoted cell desynchronizes strict readers
+// just as a newline would.
 func (t *Table) RenderCSV(w io.Writer) error {
 	esc := func(c string) string {
-		if strings.ContainsAny(c, ",\"\n") {
+		if strings.ContainsAny(c, ",\"\n\r") {
 			return `"` + strings.ReplaceAll(c, `"`, `""`) + `"`
 		}
 		return c

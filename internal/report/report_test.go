@@ -1,6 +1,7 @@
 package report
 
 import (
+	"encoding/csv"
 	"math"
 	"strings"
 	"testing"
@@ -48,6 +49,32 @@ func TestRenderCSV(t *testing.T) {
 	want := "name,note\na,\"says \"\"hi\"\", ok\"\n"
 	if b.String() != want {
 		t.Errorf("csv = %q, want %q", b.String(), want)
+	}
+}
+
+func TestRenderCSVQuotesLineBreaks(t *testing.T) {
+	// RFC 4180 regression: cells holding either line-break character
+	// (\n from multi-line labels, \r from data that passed through a
+	// CRLF file) must be quoted, or strict readers see extra records.
+	tbl := NewTable("x", "name", "note")
+	tbl.AddRow("lf", "two\nlines")
+	tbl.AddRow("cr", "dos\rartifact")
+	var b strings.Builder
+	if err := tbl.RenderCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := "name,note\nlf,\"two\nlines\"\ncr,\"dos\rartifact\"\n"
+	if b.String() != want {
+		t.Errorf("csv = %q, want %q", b.String(), want)
+	}
+	// The quoted output must round-trip through a conforming reader.
+	r := csv.NewReader(strings.NewReader(b.String()))
+	recs, err := r.ReadAll()
+	if err != nil {
+		t.Fatalf("stdlib csv reader rejected output: %v", err)
+	}
+	if len(recs) != 3 || recs[1][1] != "two\nlines" || recs[2][1] != "dos\rartifact" {
+		t.Errorf("round-trip mangled cells: %q", recs)
 	}
 }
 

@@ -1,0 +1,125 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"twocs/internal/units"
+)
+
+func TestFaultsValidate(t *testing.T) {
+	good := []Faults{
+		{},
+		{StragglerDevice: 2, StragglerSlowdown: 1.5},
+		{CommSlowdown: 3},
+		{StragglerSlowdown: 1, CommSlowdown: 1},
+	}
+	for _, f := range good {
+		if err := f.Validate(); err != nil {
+			t.Errorf("Validate(%+v) = %v, want nil", f, err)
+		}
+	}
+	bad := []Faults{
+		{StragglerSlowdown: 0.5},
+		{CommSlowdown: -1},
+		{StragglerSlowdown: math.NaN()},
+		{CommSlowdown: math.Inf(1)},
+		{StragglerDevice: -1, StragglerSlowdown: 2},
+	}
+	for _, f := range bad {
+		if err := f.Validate(); err == nil {
+			t.Errorf("Validate(%+v) accepted", f)
+		}
+	}
+}
+
+func TestRunRejectsInvalidFaults(t *testing.T) {
+	ops := []Op{{ID: "a", Duration: units.Seconds(1)}}
+	_, err := Run(ops, Config{Faults: Faults{StragglerSlowdown: 0.5}})
+	if err == nil {
+		t.Fatal("invalid faults accepted by Run")
+	}
+}
+
+func TestStragglerStretchesOnlyItsDevice(t *testing.T) {
+	// Two independent devices doing identical 1s compute; throttling
+	// device 1 by 2x must double only its span and hence the makespan.
+	ops := []Op{
+		{ID: "d0", Device: 0, Stream: ComputeStream, Duration: units.Seconds(1)},
+		{ID: "d1", Device: 1, Stream: ComputeStream, Duration: units.Seconds(1)},
+	}
+	tr, err := Run(ops, Config{Faults: Faults{StragglerDevice: 1, StragglerSlowdown: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := float64(tr.Makespan); math.Abs(got-2) > 1e-12 {
+		t.Fatalf("makespan = %v, want 2s", tr.Makespan)
+	}
+	for _, s := range tr.Spans {
+		want := 1.0
+		if s.Op.Device == 1 {
+			want = 2.0
+		}
+		if got := float64(s.Duration()); math.Abs(got-want) > 1e-12 {
+			t.Errorf("op %s executed in %vs, want %vs", s.Op.ID, got, want)
+		}
+	}
+}
+
+func TestCommSlowdownStretchesCommOnly(t *testing.T) {
+	// Sequential compute then comm: a 3x comm derating stretches the
+	// collective but not the kernel.
+	ops := []Op{
+		{ID: "gemm", Device: 0, Stream: ComputeStream, Duration: units.Seconds(1)},
+		{ID: "ar", Device: 0, Stream: CommStream, Duration: units.Seconds(1), Deps: []string{"gemm"}},
+	}
+	tr, err := Run(ops, Config{Faults: Faults{CommSlowdown: 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := float64(tr.Makespan); math.Abs(got-4) > 1e-12 {
+		t.Fatalf("makespan = %v, want 4s (1 compute + 3 comm)", tr.Makespan)
+	}
+}
+
+func TestFaultsComposeWithInterference(t *testing.T) {
+	// Concurrent compute+comm on one device under both interference and
+	// a comm fault: the comm op pays both factors while overlapped.
+	ops := []Op{
+		{ID: "gemm", Device: 0, Stream: ComputeStream, Duration: units.Seconds(1)},
+		{ID: "ar", Device: 0, Stream: DPCommStream, Duration: units.Seconds(1)},
+	}
+	healthy, err := Run(ops, Config{InterferenceSlowdown: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	faulted, err := Run(ops, Config{InterferenceSlowdown: 2, Faults: Faults{CommSlowdown: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if faulted.Makespan <= healthy.Makespan {
+		t.Fatalf("comm fault under interference did not stretch makespan: %v <= %v",
+			faulted.Makespan, healthy.Makespan)
+	}
+}
+
+func TestZeroFaultsIsIdentity(t *testing.T) {
+	ops := []Op{
+		{ID: "gemm", Device: 0, Stream: ComputeStream, Duration: units.Seconds(1)},
+		{ID: "ar", Device: 0, Stream: CommStream, Duration: units.Seconds(2), Deps: []string{"gemm"}},
+	}
+	base, err := Run(ops, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	withZero, err := Run(ops, Config{Faults: Faults{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Makespan != withZero.Makespan {
+		t.Fatalf("zero Faults changed makespan: %v != %v", withZero.Makespan, base.Makespan)
+	}
+	if Faults := (Faults{}); Faults.Enabled() {
+		t.Fatal("zero Faults reports Enabled")
+	}
+}

@@ -85,6 +85,9 @@ type Config struct {
 	// progresses at 1/InterferenceSlowdown of its standalone rate.
 	// 1 (or 0) means no interference.
 	InterferenceSlowdown float64
+	// Faults injects partial hardware failures (straggler device,
+	// fabric-wide comm derating); the zero value is healthy.
+	Faults Faults
 }
 
 // Trace is the result of running a schedule.
@@ -105,6 +108,9 @@ func Run(ops []Op, cfg Config) (*Trace, error) {
 	slow := cfg.InterferenceSlowdown
 	if slow < 1 {
 		slow = 1
+	}
+	if err := cfg.Faults.Validate(); err != nil {
+		return nil, err
 	}
 
 	type opState struct {
@@ -178,23 +184,25 @@ func Run(ops []Op, cfg Config) (*Trace, error) {
 
 	// rate returns the progress rate of the op running on key k given
 	// the current running set: compute interferes with any concurrent
-	// communication on the same device and vice versa.
+	// communication on the same device and vice versa, and injected
+	// faults throttle their target device/streams unconditionally.
 	rate := func(k queueKey) float64 {
+		r := 1 / cfg.Faults.factor(k.dev, k.stream)
 		if slow <= 1 {
-			return 1
+			return r
 		}
 		if k.stream == ComputeStream {
 			for _, s := range []Stream{CommStream, DPCommStream} {
 				if _, busy := running[queueKey{k.dev, s}]; busy {
-					return 1 / slow
+					return r / slow
 				}
 			}
-			return 1
+			return r
 		}
 		if _, busy := running[queueKey{k.dev, ComputeStream}]; busy {
-			return 1 / slow
+			return r / slow
 		}
-		return 1
+		return r
 	}
 
 	for remainingOps > 0 {
