@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test race lint bench bench-json clean
+.PHONY: build test race lint bench bench-sim bench-json clean
 
 build:
 	$(GO) build ./...
@@ -26,9 +26,16 @@ lint:
 bench:
 	$(GO) test -run '^$$' -bench 'Sweep|EvolutionGrid' -benchmem .
 
-# bench-json refreshes BENCH_sweep.json, the recorded baseline the
-# telemetry layer is held to (see EXPERIMENTS.md "Sweep benchmark
-# baseline").
+# bench-sim prints the compiled-schedule benchmarks: the internal/sim
+# re-time set plus the evolution grid they accelerate.
+bench-sim:
+	$(GO) test -run '^$$' -bench 'ProgramReTime|RunRebuild' -benchmem ./internal/sim
+	$(GO) test -run '^$$' -bench 'SerializedEvolutionGrid' -benchmem .
+
+# bench-json refreshes BENCH_sweep.json and BENCH_sim.json, the
+# recorded baselines the telemetry layer and the compiled-schedule
+# layer are held to (see EXPERIMENTS.md "Sweep benchmark baseline" and
+# "Compiled-schedule baseline").
 bench-json:
 	scripts/bench_sweep.sh
 

@@ -1,0 +1,171 @@
+package dist
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"twocs/internal/hw"
+	"twocs/internal/kernels"
+	"twocs/internal/sim"
+	"twocs/internal/units"
+)
+
+// evolvedTimer builds a Timer for the plan on a future-hardware variant
+// of its cluster, the way the evolution grids re-price one schedule.
+func evolvedTimer(t *testing.T, p Plan, evo hw.Evolution) *Timer {
+	t.Helper()
+	p.Cluster = evo.ApplyCluster(p.Cluster)
+	calc, err := kernels.NewCalculator(p.Cluster.Node.Device)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tm, err := NewTimer(p, calc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tm
+}
+
+// TestCompileIterationMatchesBuild is the compiled path's equivalence
+// gate: for every shape class (DP=1, DP>1, bucketing, optimizer) and
+// for timers the program was NOT compiled under, Refill+Run must
+// reproduce BuildIteration+sim.Run bit-for-bit.
+func TestCompileIterationMatchesBuild(t *testing.T) {
+	cases := []struct {
+		name string
+		plan Plan
+		opts ScheduleOptions
+	}{
+		{"tp-only", testPlan(2, 1), ScheduleOptions{}},
+		{"tp-dp", testPlan(2, 2), ScheduleOptions{InterferenceSlowdown: 1.3}},
+		{"bucketed", testPlan(2, 2), ScheduleOptions{DPBucketLayers: 2}},
+		{"optimizer", testPlan(2, 2), ScheduleOptions{IncludeOptimizer: true}},
+		{"faults", testPlan(2, 2), ScheduleOptions{Faults: sim.Faults{CommSlowdown: 2}}},
+	}
+	evos := []hw.Evolution{hw.Identity(), hw.FlopVsBWScenario(4)}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var c *CompiledIteration
+			for _, evo := range evos {
+				timer := evolvedTimer(t, tc.plan, evo)
+				ops, err := BuildIteration(tc.plan, timer, tc.opts)
+				if err != nil {
+					t.Fatalf("BuildIteration: %v", err)
+				}
+				want, err := sim.Run(ops, sim.Config{
+					InterferenceSlowdown: tc.opts.InterferenceSlowdown,
+					Faults:               tc.opts.Faults,
+				})
+				if err != nil {
+					t.Fatalf("sim.Run: %v", err)
+				}
+				cc, err := CompileIteration(tc.plan, timer, tc.opts)
+				if err != nil {
+					t.Fatalf("CompileIteration: %v", err)
+				}
+				if c == nil {
+					c = cc
+				} else if c != cc {
+					t.Fatal("CompileIteration returned a new instance for a cached shape")
+				}
+				rep, got, err := cc.Run(timer, sim.Config{
+					InterferenceSlowdown: tc.opts.InterferenceSlowdown,
+					Faults:               tc.opts.Faults,
+				})
+				if err != nil {
+					t.Fatalf("CompiledIteration.Run: %v", err)
+				}
+				if want.Makespan != got.Makespan {
+					t.Fatalf("evo %s: makespan %v (built) vs %v (compiled)", evo.Name, want.Makespan, got.Makespan)
+				}
+				if !reflect.DeepEqual(want.Spans, got.Spans) {
+					t.Fatalf("evo %s: traces diverged", evo.Name)
+				}
+				wantRep, wantTrace, err := RunIteration(tc.plan, timer, tc.opts)
+				if err != nil {
+					t.Fatalf("RunIteration: %v", err)
+				}
+				if *rep != *wantRep {
+					t.Fatalf("evo %s: reports diverged: %+v vs %+v", evo.Name, rep, wantRep)
+				}
+				if !reflect.DeepEqual(wantTrace.Spans, got.Spans) {
+					t.Fatalf("evo %s: RunIteration trace diverged from compiled trace", evo.Name)
+				}
+			}
+		})
+	}
+}
+
+// TestCompileIterationCacheKey checks what does and does not share a
+// compiled program: model name, DP degree and hardware must share;
+// TP degree, bucketing, layer count and optimizer inclusion must not.
+func TestCompileIterationCacheKey(t *testing.T) {
+	base := testPlan(2, 2)
+	timer := newTimer(t, base)
+	c0, err := CompileIteration(base, timer, ScheduleOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	renamed := base
+	renamed.Model.Name = "tiny-prime"
+	if c, _ := CompileIteration(renamed, newTimer(t, renamed), ScheduleOptions{}); c != c0 {
+		t.Error("renamed model should share the compiled program")
+	}
+	wider := testPlan(2, 4)
+	if c, _ := CompileIteration(wider, newTimer(t, wider), ScheduleOptions{}); c != c0 {
+		t.Error("different DP degree (still >1) should share the compiled program")
+	}
+	evolved := base
+	evolved.Cluster = hw.FlopVsBWScenario(2).ApplyCluster(base.Cluster)
+	if c, _ := CompileIteration(evolved, newTimer(t, evolved), ScheduleOptions{}); c != c0 {
+		t.Error("evolved hardware should share the compiled program")
+	}
+
+	tp4 := testPlan(4, 2)
+	if c, _ := CompileIteration(tp4, newTimer(t, tp4), ScheduleOptions{}); c == c0 {
+		t.Error("different TP degree must not share the compiled program")
+	}
+	if c, _ := CompileIteration(base, timer, ScheduleOptions{DPBucketLayers: 2}); c == c0 {
+		t.Error("different bucketing must not share the compiled program")
+	}
+	if c, _ := CompileIteration(base, timer, ScheduleOptions{IncludeOptimizer: true}); c == c0 {
+		t.Error("optimizer inclusion must not share the compiled program")
+	}
+	deeper := base
+	deeper.Model.Layers++
+	if c, _ := CompileIteration(deeper, newTimer(t, deeper), ScheduleOptions{}); c == c0 {
+		t.Error("different layer count must not share the compiled program")
+	}
+	dp1 := testPlan(2, 1)
+	if c, _ := CompileIteration(dp1, newTimer(t, dp1), ScheduleOptions{}); c == c0 {
+		t.Error("DP=1 must not share a DP>1 compiled program")
+	}
+}
+
+// TestRefillValidation covers the refill hook's guard rails.
+func TestRefillValidation(t *testing.T) {
+	p := testPlan(2, 2)
+	timer := newTimer(t, p)
+	c, err := CompileIteration(p, timer, ScheduleOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Refill(nil, nil); err == nil {
+		t.Error("expected nil-timer error")
+	}
+	other := testPlan(4, 2)
+	if _, err := c.Refill(newTimer(t, other), nil); err == nil || !strings.Contains(err.Error(), "TP") {
+		t.Errorf("expected TP-mismatch error, got %v", err)
+	}
+	// Refill must reuse a caller buffer of sufficient capacity.
+	buf := make([]units.Seconds, 0, c.Program().NumOps())
+	out, err := c.Refill(timer, buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &out[0] != &buf[:1][0] {
+		t.Error("Refill reallocated despite sufficient capacity")
+	}
+}

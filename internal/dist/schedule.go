@@ -41,14 +41,32 @@ const (
 // each collective's duration by the Timer, which is exactly the paper's
 // single-device-plus-models methodology (§4.3.3).
 func BuildIteration(p Plan, timer *Timer, opts ScheduleOptions) ([]sim.Op, error) {
+	ops, _, err := buildIteration(p, timer, opts)
+	return ops, err
+}
+
+// iterOpSpec records how one schedule op is priced, so a compiled
+// iteration can refill durations under a different Timer without
+// rebuilding the op graph.
+type iterOpSpec struct {
+	desc model.OpDesc
+	// optimizer marks the optimizer step, priced through
+	// Calculator.OptimizerStep rather than Timer.Time.
+	optimizer bool
+}
+
+// buildIteration is BuildIteration plus a parallel pricing-spec slice
+// (specs[i] prices ops[i]); the spec capture is the only difference.
+func buildIteration(p Plan, timer *Timer, opts ScheduleOptions) ([]sim.Op, []iterOpSpec, error) {
 	if err := p.Validate(); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if timer == nil {
-		return nil, fmt.Errorf("dist: nil timer")
+		return nil, nil, fmt.Errorf("dist: nil timer")
 	}
 
 	var ops []sim.Op
+	var specs []iterOpSpec
 	var prevBarrier string // last op the next compute op must wait for
 
 	emit := func(name string, stream sim.Stream, dur units.Seconds, label string, deps ...string) string {
@@ -86,6 +104,7 @@ func BuildIteration(p Plan, timer *Timer, opts ScheduleOptions) ([]sim.Op, error
 					deps = append(deps, prevBarrier)
 				}
 				id := emit(name, sim.CommStream, dur, LabelTPComm, deps...)
+				specs = append(specs, iterOpSpec{desc: d})
 				prevBarrier = id
 				lastOp = id
 			default:
@@ -95,6 +114,7 @@ func BuildIteration(p Plan, timer *Timer, opts ScheduleOptions) ([]sim.Op, error
 					prevBarrier = ""
 				}
 				id := emit(name, sim.ComputeStream, dur, LabelCompute, deps...)
+				specs = append(specs, iterOpSpec{desc: d})
 				lastOp = id
 			}
 		}
@@ -105,10 +125,10 @@ func BuildIteration(p Plan, timer *Timer, opts ScheduleOptions) ([]sim.Op, error
 	for l := 0; l < p.Model.Layers; l++ {
 		descs, err := model.LayerForwardOps(p.Model, p.TP)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		if _, err := addLayerOps(l, descs); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 	}
 
@@ -117,7 +137,7 @@ func BuildIteration(p Plan, timer *Timer, opts ScheduleOptions) ([]sim.Op, error
 	// except the optimizer.
 	gradBytes, err := model.DPGradientBytes(p.Model, p.TP)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	bucket := opts.DPBucketLayers
 	if bucket < 1 {
@@ -128,11 +148,11 @@ func BuildIteration(p Plan, timer *Timer, opts ScheduleOptions) ([]sim.Op, error
 	for l := p.Model.Layers - 1; l >= 0; l-- {
 		descs, err := model.LayerBackwardOps(p.Model, p.TP)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		last, err := addLayerOps(l, descs)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		if p.DP == 1 {
 			continue
@@ -141,16 +161,18 @@ func BuildIteration(p Plan, timer *Timer, opts ScheduleOptions) ([]sim.Op, error
 		if pending < bucket && l > 0 {
 			continue // keep accumulating the bucket
 		}
-		dur, err := timer.Time(model.OpDesc{
+		dpDesc := model.OpDesc{
 			Kind:  model.DPAllReduce,
 			Bytes: units.Bytes(float64(gradBytes) * float64(pending)),
 			DT:    p.Model.DT,
-		})
+		}
+		dur, err := timer.Time(dpDesc)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		id := emit(fmt.Sprintf("l%d.bwd.dp.allreduce", l), sim.DPCommStream,
 			dur, LabelDPComm, last)
+		specs = append(specs, iterOpSpec{desc: dpDesc})
 		dpOps = append(dpOps, id)
 		pending = 0
 	}
@@ -159,15 +181,16 @@ func BuildIteration(p Plan, timer *Timer, opts ScheduleOptions) ([]sim.Op, error
 		dur, err := timer.Calc.OptimizerStep(
 			p.Model.Params()/float64(p.TP), p.Model.DT, 6)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		deps := dpOps
 		if len(deps) == 0 && len(ops) > 0 {
 			deps = []string{ops[len(ops)-1].ID}
 		}
 		emit("optimizer.step", sim.ComputeStream, dur, LabelCompute, deps...)
+		specs = append(specs, iterOpSpec{optimizer: true})
 	}
-	return ops, nil
+	return ops, specs, nil
 }
 
 // IterationReport summarizes one simulated iteration.
@@ -195,21 +218,10 @@ func (r IterationReport) TotalCommFraction() float64 {
 	return units.Ratio(float64(r.ExposedTPComm+r.ExposedDPComm), float64(r.Makespan))
 }
 
-// RunIteration builds, simulates and summarizes one training iteration.
-func RunIteration(p Plan, timer *Timer, opts ScheduleOptions) (*IterationReport, *sim.Trace, error) {
-	ops, err := BuildIteration(p, timer, opts)
-	if err != nil {
-		return nil, nil, err
-	}
-	trace, err := sim.Run(ops, sim.Config{
-		InterferenceSlowdown: opts.InterferenceSlowdown,
-		Faults:               opts.Faults,
-	})
-	if err != nil {
-		return nil, nil, err
-	}
+// reportFrom summarizes a simulated iteration trace.
+func reportFrom(trace *sim.Trace) *IterationReport {
 	labels := trace.LabelTime()
-	rep := &IterationReport{
+	return &IterationReport{
 		Makespan:      trace.Makespan,
 		ComputeTime:   labels[LabelCompute],
 		TPCommTime:    labels[LabelTPComm],
@@ -217,5 +229,19 @@ func RunIteration(p Plan, timer *Timer, opts ScheduleOptions) (*IterationReport,
 		ExposedTPComm: trace.ExposedCommOn(0, sim.CommStream),
 		ExposedDPComm: trace.ExposedDPComm(0),
 	}
-	return rep, trace, nil
+}
+
+// RunIteration builds, simulates and summarizes one training iteration.
+// The schedule shape is compiled once per (model, TP, schedule options)
+// and cached process-wide; each call re-prices the ops under its timer
+// and re-times the compiled program (see CompileIteration).
+func RunIteration(p Plan, timer *Timer, opts ScheduleOptions) (*IterationReport, *sim.Trace, error) {
+	c, err := CompileIteration(p, timer, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	return c.Run(timer, sim.Config{
+		InterferenceSlowdown: opts.InterferenceSlowdown,
+		Faults:               opts.Faults,
+	})
 }

@@ -196,6 +196,7 @@ func All() []*Analyzer {
 		DetRange,
 		LockCheck,
 		SweepPure,
+		SimScratch,
 	}
 }
 

@@ -120,6 +120,8 @@ func TestDetRangeFixture(t *testing.T)  { runFixture(t, DetRange, "detrange") }
 func TestLockCheckFixture(t *testing.T) { runFixture(t, LockCheck, "lockcheck") }
 func TestSweepPureFixture(t *testing.T) { runFixture(t, SweepPure, "sweeppure") }
 
+func TestSimScratchFixture(t *testing.T) { runFixture(t, SimScratch, "simscratch") }
+
 // TestSuiteOnOwnModule is the self-hosting gate: the full analyzer
 // suite must report zero findings on the repo's own tree. This is the
 // same invariant CI enforces via `go run ./cmd/twocslint ./...`.

@@ -1,0 +1,78 @@
+// Package simscratch exercises the simscratch analyzer against the
+// real twocs engine packages: sim.RunState scratch memory must not be
+// captured into parallel sweep closures.
+package simscratch
+
+import (
+	"context"
+
+	"twocs/internal/parallel"
+	"twocs/internal/sim"
+	"twocs/internal/units"
+)
+
+// --- positives ---
+
+func sharedScratch(p *sim.Program, durs []units.Seconds, n int) ([]*sim.Trace, error) {
+	st := p.NewState()
+	return parallel.Map(0, n, func(i int) (*sim.Trace, error) {
+		return p.RunWith(st, durs, sim.Config{}) // want "captured sim.RunState"
+	})
+}
+
+func sharedScratchCtx(ctx context.Context, p *sim.Program, durs []units.Seconds, n int) ([]*sim.Trace, error) {
+	st := p.NewState()
+	return parallel.MapCtx(ctx, 0, n, func(_ context.Context, i int) (*sim.Trace, error) {
+		return p.RunWith(st, durs, sim.Config{}) // want "captured sim.RunState"
+	})
+}
+
+func sharedScratchNested(p *sim.Program, durs []units.Seconds, n int) ([]*sim.Trace, error) {
+	st := p.NewState()
+	return parallel.Map(0, n, func(i int) (*sim.Trace, error) {
+		run := func() (*sim.Trace, error) {
+			return p.RunWith(st, durs, sim.Config{}) // want "captured sim.RunState"
+		}
+		return run()
+	})
+}
+
+func sharedScratchValue(p *sim.Program, st *sim.RunState, durs []units.Seconds, n int) ([]int, error) {
+	return parallel.FilterMap(0, n, func(i int) (int, bool, error) {
+		use := st // want "captured sim.RunState"
+		_ = use
+		return i, true, nil
+	})
+}
+
+// --- negatives ---
+
+// Pooled scratch: Program.Run draws per-call state internally.
+func pooledRun(p *sim.Program, durs []units.Seconds, n int) ([]*sim.Trace, error) {
+	return parallel.Map(0, n, func(i int) (*sim.Trace, error) {
+		return p.Run(durs, sim.Config{})
+	})
+}
+
+// Per-worker scratch allocated inside the closure is the intended
+// re-time-loop pattern.
+func perTaskState(p *sim.Program, durs []units.Seconds, n int) ([]*sim.Trace, error) {
+	return parallel.Map(0, n, func(i int) (*sim.Trace, error) {
+		st := p.NewState()
+		return p.RunWith(st, durs, sim.Config{})
+	})
+}
+
+// Scratch used outside any sweep closure is single-goroutine and fine.
+func sequentialState(p *sim.Program, durs []units.Seconds) (*sim.Trace, error) {
+	st := p.NewState()
+	return p.RunWith(st, durs, sim.Config{})
+}
+
+// Suppressed with an explicit reason.
+func suppressed(p *sim.Program, st *sim.RunState, durs []units.Seconds, n int) ([]*sim.Trace, error) {
+	return parallel.Map(1, n, func(i int) (*sim.Trace, error) {
+		//lint:ignore simscratch workers=1 pins the sweep to one goroutine here
+		return p.RunWith(st, durs, sim.Config{})
+	})
+}

@@ -24,7 +24,11 @@ type opsKey struct {
 	phase Phase // Forward for forward-only graphs, Backward for full
 }
 
-func shapeOf(c Config) Config {
+// Shape returns the configuration with the identity fields LayerOps
+// never reads (Name, Layers, Vocab) normalized away — the equivalence
+// key under which layer operator graphs, and the projections derived
+// from them (opmodel), are shared.
+func Shape(c Config) Config {
 	c.Name = ""
 	c.Layers = 1
 	c.Vocab = 0
@@ -39,7 +43,7 @@ func cachedOps(c Config, tp int, phase Phase, build func(Config, int) ([]OpDesc,
 	if err := c.ValidateTP(tp); err != nil {
 		return nil, err
 	}
-	key := opsKey{shape: shapeOf(c), tp: tp, phase: phase}
+	key := opsKey{shape: Shape(c), tp: tp, phase: phase}
 	if ops, ok := opsCache.Load(key); ok {
 		telemetry.Active().Count("model.opscache.hit", 1)
 		return ops.([]OpDesc), nil

@@ -17,11 +17,14 @@ package opmodel
 
 import (
 	"fmt"
+	"sync"
 
 	"twocs/internal/hw"
 	"twocs/internal/model"
 	"twocs/internal/profile"
 	"twocs/internal/stats"
+	"twocs/internal/telemetry"
+	"twocs/internal/tensor"
 	"twocs/internal/units"
 )
 
@@ -56,6 +59,47 @@ type Model struct {
 	// latencyAwareAR selects the two-term group-size extrapolation for
 	// collectives (see WithLatencyAwareAR).
 	latencyAwareAR bool
+
+	// projCache memoizes per-layer projections by (shape, tp, phase).
+	// An evolution grid projects each (H, SL, B, TP) point under every
+	// hardware scenario, but the scenario only rescales the layer sums
+	// (ProjectIteration) — the per-operator projection is scenario-
+	// independent, so it is computed once per shape and re-scaled many
+	// times. Guarded by the Model's immutability: calibration happens
+	// before first use.
+	projCache sync.Map // projKey -> LayerProjection
+}
+
+// projKey identifies one memoized layer projection: the shape fields
+// the layer operator graph reads (model.Shape's survivors), flattened
+// into a string-free struct so sync.Map hashes it with plain memhash
+// instead of the reflective string-walking fallback — the difference
+// is the bulk of a cache hit's cost on the grid hot path.
+// TestProjKeyCoversConfig pins this field set against model.Config.
+type projKey struct {
+	kind          model.LayerKind
+	hidden, fc    int
+	heads         int
+	seqLen, batch int
+	dt            tensor.DType
+	fused         bool
+	tp            int
+	phase         model.Phase
+}
+
+func newProjKey(c model.Config, tp int, phase model.Phase) projKey {
+	return projKey{
+		kind:   c.Kind,
+		hidden: c.Hidden,
+		fc:     c.FCDim,
+		heads:  c.Heads,
+		seqLen: c.SeqLen,
+		batch:  c.Batch,
+		dt:     c.DT,
+		fused:  c.FusedAttention,
+		tp:     tp,
+		phase:  phase,
+	}
 }
 
 // Option configures calibration.
@@ -265,21 +309,42 @@ type LayerProjection struct {
 // projections of one shape — across hardware-evolution scenarios, sweep
 // repetitions, worker goroutines — share a single graph construction.
 func (m *Model) ProjectLayer(target model.Config, tp int) (LayerProjection, error) {
-	ops, err := model.CachedLayerOps(target, tp)
-	if err != nil {
-		return LayerProjection{}, err
-	}
-	return m.projectOps(ops, tp)
+	return m.cachedProjection(target, tp, model.Backward, model.CachedLayerOps)
 }
 
 // ProjectLayerForward projects only the forward pass — the inference
 // analysis of §6.3 (one forward, two serialized all-reduces per layer).
 func (m *Model) ProjectLayerForward(target model.Config, tp int) (LayerProjection, error) {
-	ops, err := model.CachedLayerForwardOps(target, tp)
+	return m.cachedProjection(target, tp, model.Forward, model.CachedLayerForwardOps)
+}
+
+// cachedProjection is the shape-keyed memo in front of projectOps. The
+// configuration is validated per call (cheap, allocation-free on the
+// success path) so invalid shapes never consult or populate the cache;
+// a hit then costs one map load and zero projections. Only successful
+// projections are cached; failures (e.g. a missing baseline operator)
+// recompute and re-fail.
+func (m *Model) cachedProjection(target model.Config, tp int, phase model.Phase,
+	fetch func(model.Config, int) ([]model.OpDesc, error)) (LayerProjection, error) {
+	if err := target.ValidateTP(tp); err != nil {
+		return LayerProjection{}, err
+	}
+	key := newProjKey(target, tp, phase)
+	if v, ok := m.projCache.Load(key); ok {
+		telemetry.Active().Count("opmodel.projcache.hit", 1)
+		return v.(LayerProjection), nil
+	}
+	telemetry.Active().Count("opmodel.projcache.miss", 1)
+	ops, err := fetch(target, tp)
 	if err != nil {
 		return LayerProjection{}, err
 	}
-	return m.projectOps(ops, tp)
+	lp, err := m.projectOps(ops, tp)
+	if err != nil {
+		return LayerProjection{}, err
+	}
+	m.projCache.Store(key, lp)
+	return lp, nil
 }
 
 func (m *Model) projectOps(ops []model.OpDesc, tp int) (LayerProjection, error) {

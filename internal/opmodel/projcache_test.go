@@ -1,0 +1,86 @@
+package opmodel
+
+import (
+	"reflect"
+	"testing"
+
+	"twocs/internal/model"
+)
+
+// TestProjKeyCoversConfig is the tripwire for the flattened projection
+// cache key: if model.Config grows a field, this test fails until
+// someone decides whether the field shapes the layer operator graph
+// (add it to projKey and newProjKey) or is identity-only like Name,
+// Layers and Vocab (add it to the known set here).
+func TestProjKeyCoversConfig(t *testing.T) {
+	known := map[string]bool{
+		// Identity fields model.Shape normalizes away; they never
+		// change the per-layer operator graph.
+		"Name": true, "Layers": true, "Vocab": true,
+		// Shape fields mirrored into projKey.
+		"Kind": true, "Hidden": true, "FCDim": true, "Heads": true,
+		"SeqLen": true, "Batch": true, "DT": true, "FusedAttention": true,
+	}
+	rt := reflect.TypeOf(model.Config{})
+	for i := 0; i < rt.NumField(); i++ {
+		if name := rt.Field(i).Name; !known[name] {
+			t.Errorf("model.Config field %q is not accounted for in projKey; "+
+				"extend the cache key or the identity set", name)
+		}
+	}
+	if rt.NumField() != len(known) {
+		t.Errorf("model.Config has %d fields, projKey accounting covers %d", rt.NumField(), len(known))
+	}
+}
+
+// TestProjectLayerMemo checks the projection memo returns identical
+// results on repeat calls, across identity-only renames, and does NOT
+// share across shape or phase differences.
+func TestProjectLayerMemo(t *testing.T) {
+	m, _, cfg := baseline(t)
+	first, err := m.ProjectLayer(cfg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := m.ProjectLayer(cfg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first != again {
+		t.Fatalf("memoized projection diverged: %+v vs %+v", first, again)
+	}
+	renamed := cfg
+	renamed.Name = "bert-prime"
+	renamed.Layers *= 2
+	viaAlias, err := m.ProjectLayer(renamed, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if viaAlias != first {
+		t.Fatalf("identity-only rename changed per-layer projection: %+v vs %+v", viaAlias, first)
+	}
+	fwd, err := m.ProjectLayerForward(cfg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fwd == first {
+		t.Fatal("forward-only projection must differ from full-layer projection")
+	}
+	wider := cfg
+	wider.Hidden *= 2
+	wider.FCDim *= 2
+	wide, err := m.ProjectLayer(wider, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wide == first {
+		t.Fatal("different hidden size must not share a cached projection")
+	}
+	otherTP, err := m.ProjectLayer(cfg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if otherTP == first {
+		t.Fatal("different TP degree must not share a cached projection")
+	}
+}

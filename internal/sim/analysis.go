@@ -145,12 +145,17 @@ func (t *Trace) ExposedDPComm(device int) units.Seconds {
 }
 
 // LabelTime sums executed duration per op label across all devices.
+// The map is computed once per trace and shared across calls; callers
+// must treat it as read-only.
 func (t *Trace) LabelTime() map[string]units.Seconds {
-	out := make(map[string]units.Seconds)
-	for _, s := range t.Spans {
-		out[s.Op.Label] += s.Duration()
-	}
-	return out
+	t.labelOnce.Do(func() {
+		out := make(map[string]units.Seconds)
+		for _, s := range t.Spans {
+			out[s.Op.Label] += s.Duration()
+		}
+		t.labels = out
+	})
+	return t.labels
 }
 
 // Devices returns the sorted distinct device indices in the trace.

@@ -98,10 +98,9 @@ func (t *Trace) CriticalPath() ([]CriticalStep, map[string]units.Seconds) {
 	if len(t.Spans) == 0 {
 		return nil, nil
 	}
-	byID := make(map[string]Span, len(t.Spans))
+	byID := t.index()
 	var last Span
 	for _, s := range t.Spans {
-		byID[s.Op.ID] = s
 		if s.End > last.End {
 			last = s
 		}

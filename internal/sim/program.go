@@ -1,0 +1,370 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"twocs/internal/telemetry"
+	"twocs/internal/units"
+)
+
+// This file is the engine's compile-once/re-time-many fast path. The
+// paper's methodology prices one fixed iteration DAG under many hardware
+// assumptions (§4.3.6 evolutions, Fig 13-15 projections): the op graph
+// *shape* — IDs, dependencies, stream assignment — is constant across a
+// grid, while only the durations change per point. Compile performs all
+// validation, string interning and queue construction exactly once,
+// lowering the schedule to dense int32 form; Program.Run then replays
+// the event loop over pooled scratch buffers with near-zero steady-state
+// allocations. sim.Run remains the convenience path (Compile + one Run)
+// with byte-identical results.
+
+// Program is a schedule compiled for repeated execution. The compiled
+// form is immutable; one Program may be Run concurrently from many
+// goroutines (each run draws its scratch state from an internal pool).
+type Program struct {
+	ops []Op
+	// baseDur is each op's compile-time duration, the durations sim.Run
+	// replays. Callers supplying their own per-run durations index them
+	// identically (Durations returns a mutable copy).
+	baseDur []units.Seconds
+
+	// deps/depOff form CSR-style adjacency: op i depends on the op
+	// indices deps[depOff[i]:depOff[i+1]].
+	deps   []int32
+	depOff []int32
+
+	// queues are the per-(device,stream) in-order FIFO lanes, sorted by
+	// (device, stream); each holds op indices in submission order.
+	queues []progQueue
+
+	pool sync.Pool // *RunState
+}
+
+// progQueue is one compiled (device, stream) lane.
+type progQueue struct {
+	dev    int
+	stream Stream
+	ops    []int32
+	// peers are the queue indices whose concurrently running op
+	// interferes with this lane (compute vs communication on one
+	// device, §4.3.7).
+	peers []int32
+}
+
+// Compile validates the schedule once and lowers it to the dense form
+// Program.Run executes. It fails on exactly the inputs Run rejects
+// statically: empty or duplicate IDs, negative devices, invalid
+// durations, unknown dependencies.
+func Compile(ops []Op) (*Program, error) {
+	telemetry.Active().Count("sim.program.compile", 1)
+	n := len(ops)
+	p := &Program{
+		ops:     ops,
+		baseDur: make([]units.Seconds, n),
+		depOff:  make([]int32, n+1),
+	}
+	byID := make(map[string]int32, n)
+	nDeps := 0
+	for i, op := range ops {
+		if op.ID == "" {
+			return nil, fmt.Errorf("sim: op %d has empty ID", i)
+		}
+		if op.Device < 0 {
+			return nil, fmt.Errorf("sim: op %q has negative device", op.ID)
+		}
+		if op.Duration < 0 || math.IsNaN(float64(op.Duration)) || math.IsInf(float64(op.Duration), 0) {
+			return nil, fmt.Errorf("sim: op %q has invalid duration %v", op.ID, op.Duration)
+		}
+		if _, dup := byID[op.ID]; dup {
+			return nil, fmt.Errorf("sim: duplicate op ID %q", op.ID)
+		}
+		byID[op.ID] = int32(i)
+		p.baseDur[i] = op.Duration
+		nDeps += len(op.Deps)
+	}
+	p.deps = make([]int32, 0, nDeps)
+	for i, op := range ops {
+		for _, d := range op.Deps {
+			j, ok := byID[d]
+			if !ok {
+				return nil, fmt.Errorf("sim: op %q depends on unknown op %q", op.ID, d)
+			}
+			p.deps = append(p.deps, j)
+		}
+		p.depOff[i+1] = int32(len(p.deps))
+	}
+
+	// Group ops into per-(device,stream) lanes, sorted by (device,
+	// stream) to fix the start-scan order the event loop uses.
+	type laneKey struct {
+		dev    int
+		stream Stream
+	}
+	laneOf := make(map[laneKey]int, 8)
+	for i, op := range ops {
+		k := laneKey{op.Device, op.Stream}
+		qi, ok := laneOf[k]
+		if !ok {
+			qi = len(p.queues)
+			laneOf[k] = qi
+			p.queues = append(p.queues, progQueue{dev: op.Device, stream: op.Stream})
+		}
+		p.queues[qi].ops = append(p.queues[qi].ops, int32(i))
+	}
+	sort.Slice(p.queues, func(i, j int) bool {
+		if p.queues[i].dev != p.queues[j].dev {
+			return p.queues[i].dev < p.queues[j].dev
+		}
+		return p.queues[i].stream < p.queues[j].stream
+	})
+	for qi := range p.queues {
+		q := &p.queues[qi]
+		for pi := range p.queues {
+			if pi == qi || p.queues[pi].dev != q.dev {
+				continue
+			}
+			// Compute interferes with any comm lane on the device and
+			// vice versa; the two comm lanes do not interfere.
+			if q.stream == ComputeStream && p.queues[pi].stream.IsComm() ||
+				q.stream.IsComm() && p.queues[pi].stream == ComputeStream {
+				q.peers = append(q.peers, int32(pi))
+			}
+		}
+	}
+	p.pool.New = func() any { return p.newState() }
+	return p, nil
+}
+
+// NumOps returns the number of ops in the compiled schedule.
+func (p *Program) NumOps() int { return len(p.ops) }
+
+// Ops returns the compiled schedule's ops in submission order. The
+// slice is shared with the Program: callers must treat it as read-only.
+func (p *Program) Ops() []Op { return p.ops }
+
+// Durations returns a mutable copy of the compile-time durations,
+// indexed like Ops — the natural starting buffer for a re-time loop.
+func (p *Program) Durations() []units.Seconds {
+	out := make([]units.Seconds, len(p.baseDur))
+	copy(out, p.baseDur)
+	return out
+}
+
+// RunState is the reusable scratch memory of one Program execution. A
+// RunState is NOT safe for concurrent use: it must never be shared
+// across sweep workers (Program.Run draws from an internal pool, which
+// is the safe default; NewState is for single-goroutine re-time loops
+// that want to avoid even the pool handoff).
+type RunState struct {
+	owner     *Program
+	remaining []float64
+	startAt   []float64
+	endAt     []float64
+	done      []bool
+	started   []bool
+	qpos      []int32
+	running   []int32   // per queue: running op index, -1 when idle
+	rate      []float64 // per queue: healthy progress rate (1/fault factor)
+}
+
+func (p *Program) newState() *RunState {
+	n := len(p.ops)
+	return &RunState{
+		owner:     p,
+		remaining: make([]float64, n),
+		startAt:   make([]float64, n),
+		endAt:     make([]float64, n),
+		done:      make([]bool, n),
+		started:   make([]bool, n),
+		qpos:      make([]int32, len(p.queues)),
+		running:   make([]int32, len(p.queues)),
+		rate:      make([]float64, len(p.queues)),
+	}
+}
+
+// NewState allocates a fresh scratch state for RunWith. Use one state
+// per goroutine; see RunState.
+func (p *Program) NewState() *RunState { return p.newState() }
+
+// Run executes the compiled schedule under the given per-op durations
+// (indexed like Ops) and config, drawing scratch state from the
+// Program's internal pool. Safe for concurrent use.
+func (p *Program) Run(durations []units.Seconds, cfg Config) (*Trace, error) {
+	st := p.pool.Get().(*RunState)
+	tr, err := p.RunWith(st, durations, cfg)
+	p.pool.Put(st)
+	return tr, err
+}
+
+// RunWith is Run over caller-owned scratch state (from NewState). The
+// state must belong to this Program and must not be used concurrently.
+func (p *Program) RunWith(st *RunState, durations []units.Seconds, cfg Config) (*Trace, error) {
+	if st == nil || st.owner != p {
+		return nil, fmt.Errorf("sim: run state does not belong to this program")
+	}
+	if len(durations) != len(p.ops) {
+		return nil, fmt.Errorf("sim: %d durations for %d ops", len(durations), len(p.ops))
+	}
+	if err := cfg.Faults.Validate(); err != nil {
+		return nil, err
+	}
+	if len(p.ops) == 0 {
+		return &Trace{}, nil
+	}
+	slow := cfg.InterferenceSlowdown
+	if slow < 1 {
+		slow = 1
+	}
+	for i, d := range durations {
+		if d < 0 || math.IsNaN(float64(d)) || math.IsInf(float64(d), 0) {
+			return nil, fmt.Errorf("sim: op %q has invalid duration %v", p.ops[i].ID, d)
+		}
+		st.remaining[i] = float64(d)
+		st.done[i] = false
+		st.started[i] = false
+	}
+	for q := range p.queues {
+		st.qpos[q] = 0
+		st.running[q] = -1
+		st.rate[q] = 1 / cfg.Faults.factor(p.queues[q].dev, p.queues[q].stream)
+	}
+
+	// rateOf mirrors the uncompiled engine's rate closure: injected
+	// faults throttle unconditionally; interference halves progress (by
+	// 1/slow) while a peer lane is busy.
+	rateOf := func(q int) float64 {
+		r := st.rate[q]
+		if slow <= 1 {
+			return r
+		}
+		for _, pi := range p.queues[q].peers {
+			if st.running[pi] >= 0 {
+				return r / slow
+			}
+		}
+		return r
+	}
+	depsDone := func(op int32) bool {
+		for _, d := range p.deps[p.depOff[op]:p.depOff[op+1]] {
+			if !st.done[d] {
+				return false
+			}
+		}
+		return true
+	}
+
+	now := 0.0
+	remainingOps := len(p.ops)
+	nRunning := 0
+	for remainingOps > 0 {
+		// Start every lane head whose dependencies are complete.
+		progressed := true
+		for progressed {
+			progressed = false
+			for q := range p.queues {
+				if st.running[q] >= 0 || int(st.qpos[q]) >= len(p.queues[q].ops) {
+					continue
+				}
+				head := p.queues[q].ops[st.qpos[q]]
+				if !depsDone(head) {
+					continue
+				}
+				st.started[head] = true
+				st.startAt[head] = now
+				st.running[q] = head
+				st.qpos[q]++
+				nRunning++
+				progressed = true
+			}
+		}
+
+		if nRunning == 0 {
+			// Nothing runnable but work remains: circular dependency
+			// (possibly through stream ordering).
+			var stuck []string
+			for q := range p.queues {
+				for _, i := range p.queues[q].ops[st.qpos[q]:] {
+					stuck = append(stuck, p.ops[i].ID)
+				}
+			}
+			sort.Strings(stuck)
+			return nil, fmt.Errorf("sim: deadlock, %d ops blocked: %v", len(stuck), stuck)
+		}
+
+		// Advance to the earliest completion under current rates.
+		dt := math.Inf(1)
+		for q := range p.queues {
+			i := st.running[q]
+			if i < 0 {
+				continue
+			}
+			if need := st.remaining[i] / rateOf(q); need < dt {
+				dt = need
+			}
+		}
+		if math.IsInf(dt, 1) {
+			// All running ops have zero remaining work; they complete now.
+			dt = 0
+		}
+		for q := range p.queues {
+			if i := st.running[q]; i >= 0 {
+				st.remaining[i] -= dt * rateOf(q)
+			}
+		}
+		now += dt
+		for q := range p.queues {
+			i := st.running[q]
+			if i < 0 {
+				continue
+			}
+			if st.remaining[i] <= 1e-18 {
+				st.remaining[i] = 0
+				st.done[i] = true
+				st.endAt[i] = now
+				st.running[q] = -1
+				nRunning--
+				remainingOps--
+			}
+		}
+	}
+
+	tr := &Trace{Spans: make([]Span, len(p.ops))}
+	for i, op := range p.ops {
+		op.Duration = durations[i]
+		tr.Spans[i] = Span{
+			Op:    op,
+			Start: units.Seconds(st.startAt[i]),
+			End:   units.Seconds(st.endAt[i]),
+		}
+		if units.Seconds(st.endAt[i]) > tr.Makespan {
+			tr.Makespan = units.Seconds(st.endAt[i])
+		}
+	}
+	sortSpans(tr.Spans)
+	return tr, nil
+}
+
+// sortSpans orders spans by (start time, op ID) — the trace's canonical
+// deterministic order.
+func sortSpans(spans []Span) {
+	sort.Sort(spanOrder(spans))
+}
+
+// spanOrder implements the canonical span order without the per-call
+// closure allocation sort.Slice incurs on the re-time hot path.
+type spanOrder []Span
+
+func (s spanOrder) Len() int      { return len(s) }
+func (s spanOrder) Swap(i, j int) { s[i], s[j] = s[j], s[i] }
+func (s spanOrder) Less(i, j int) bool {
+	if s[i].Start < s[j].Start {
+		return true
+	}
+	if s[i].Start > s[j].Start {
+		return false
+	}
+	return s[i].Op.ID < s[j].Op.ID
+}

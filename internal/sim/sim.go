@@ -14,8 +14,7 @@ package sim
 
 import (
 	"fmt"
-	"math"
-	"sort"
+	"sync"
 
 	"twocs/internal/units"
 )
@@ -90,205 +89,56 @@ type Config struct {
 	Faults Faults
 }
 
-// Trace is the result of running a schedule.
+// Trace is the result of running a schedule. A Trace must not be
+// copied after first use: the analysis passes (LabelTime, CriticalPath)
+// lazily build shared indexes guarded by sync.Once fields.
 type Trace struct {
 	Spans []Span
 	// Makespan is the completion time of the last op.
 	Makespan units.Seconds
+
+	// idOnce guards byID, the span-by-op-ID index every backward walk
+	// needs; built once per trace instead of once per call.
+	idOnce sync.Once
+	byID   map[string]Span
+	// labelOnce guards labels, the executed-duration-per-label sums.
+	labelOnce sync.Once
+	labels    map[string]units.Seconds
+}
+
+// index returns the span-by-op-ID map, built on first use and shared
+// by every subsequent analysis call on this trace. Callers must treat
+// it as read-only.
+func (t *Trace) index() map[string]Span {
+	t.idOnce.Do(func() {
+		byID := make(map[string]Span, len(t.Spans))
+		for _, s := range t.Spans {
+			byID[s.Op.ID] = s
+		}
+		t.byID = byID
+	})
+	return t.byID
 }
 
 // Run executes the schedule and returns its trace. Ops on one stream run
 // in slice order (in-order streams); an op whose dependencies are not yet
 // complete blocks its stream. Run fails on duplicate IDs, unknown
 // dependencies, or deadlock (circular waits).
+//
+// Run is the convenience path: it compiles the schedule and executes it
+// once, discarding the compiled form. Callers that re-time one schedule
+// shape under many duration sets (the evolution grids, the sweep
+// engine) should Compile once and call Program.Run per point instead.
 func Run(ops []Op, cfg Config) (*Trace, error) {
 	if len(ops) == 0 {
 		return &Trace{}, nil
 	}
-	slow := cfg.InterferenceSlowdown
-	if slow < 1 {
-		slow = 1
-	}
 	if err := cfg.Faults.Validate(); err != nil {
 		return nil, err
 	}
-
-	type opState struct {
-		op        Op
-		remaining float64
-		started   bool
-		startAt   float64
-		done      bool
-		endAt     float64
+	p, err := Compile(ops)
+	if err != nil {
+		return nil, err
 	}
-	states := make([]*opState, len(ops))
-	byID := make(map[string]*opState, len(ops))
-	for i, op := range ops {
-		if op.ID == "" {
-			return nil, fmt.Errorf("sim: op %d has empty ID", i)
-		}
-		if op.Device < 0 {
-			return nil, fmt.Errorf("sim: op %q has negative device", op.ID)
-		}
-		if op.Duration < 0 || math.IsNaN(float64(op.Duration)) || math.IsInf(float64(op.Duration), 0) {
-			return nil, fmt.Errorf("sim: op %q has invalid duration %v", op.ID, op.Duration)
-		}
-		if _, dup := byID[op.ID]; dup {
-			return nil, fmt.Errorf("sim: duplicate op ID %q", op.ID)
-		}
-		st := &opState{op: op, remaining: float64(op.Duration)}
-		states[i] = st
-		byID[op.ID] = st
-	}
-	for _, st := range states {
-		for _, d := range st.op.Deps {
-			if _, ok := byID[d]; !ok {
-				return nil, fmt.Errorf("sim: op %q depends on unknown op %q", st.op.ID, d)
-			}
-		}
-	}
-
-	// Per-(device,stream) FIFO queues in submission order.
-	type queueKey struct {
-		dev    int
-		stream Stream
-	}
-	queues := make(map[queueKey][]*opState)
-	var keys []queueKey
-	for _, st := range states {
-		k := queueKey{st.op.Device, st.op.Stream}
-		if _, ok := queues[k]; !ok {
-			keys = append(keys, k)
-		}
-		queues[k] = append(queues[k], st)
-	}
-	sort.Slice(keys, func(i, j int) bool {
-		if keys[i].dev != keys[j].dev {
-			return keys[i].dev < keys[j].dev
-		}
-		return keys[i].stream < keys[j].stream
-	})
-
-	depsDone := func(st *opState) bool {
-		for _, d := range st.op.Deps {
-			if !byID[d].done {
-				return false
-			}
-		}
-		return true
-	}
-
-	running := make(map[queueKey]*opState)
-	now := 0.0
-	remainingOps := len(states)
-
-	// rate returns the progress rate of the op running on key k given
-	// the current running set: compute interferes with any concurrent
-	// communication on the same device and vice versa, and injected
-	// faults throttle their target device/streams unconditionally.
-	rate := func(k queueKey) float64 {
-		r := 1 / cfg.Faults.factor(k.dev, k.stream)
-		if slow <= 1 {
-			return r
-		}
-		if k.stream == ComputeStream {
-			for _, s := range []Stream{CommStream, DPCommStream} {
-				if _, busy := running[queueKey{k.dev, s}]; busy {
-					return r / slow
-				}
-			}
-			return r
-		}
-		if _, busy := running[queueKey{k.dev, ComputeStream}]; busy {
-			return r / slow
-		}
-		return r
-	}
-
-	for remainingOps > 0 {
-		// Start every queue head whose dependencies are complete.
-		progressed := true
-		for progressed {
-			progressed = false
-			for _, k := range keys {
-				if _, busy := running[k]; busy {
-					continue
-				}
-				q := queues[k]
-				if len(q) == 0 {
-					continue
-				}
-				head := q[0]
-				if !depsDone(head) {
-					continue
-				}
-				head.started = true
-				head.startAt = now
-				running[k] = head
-				queues[k] = q[1:]
-				progressed = true
-			}
-		}
-
-		if len(running) == 0 {
-			// Nothing runnable but work remains: circular dependency
-			// (possibly through stream ordering).
-			var stuck []string
-			for _, k := range keys {
-				for _, st := range queues[k] {
-					stuck = append(stuck, st.op.ID)
-				}
-			}
-			sort.Strings(stuck)
-			return nil, fmt.Errorf("sim: deadlock, %d ops blocked: %v", len(stuck), stuck)
-		}
-
-		// Advance to the earliest completion under current rates.
-		dt := math.Inf(1)
-		for k, st := range running {
-			r := rate(k)
-			if need := st.remaining / r; need < dt {
-				dt = need
-			}
-		}
-		if math.IsInf(dt, 1) {
-			// All running ops have zero remaining work; they complete now.
-			dt = 0
-		}
-		for k, st := range running {
-			st.remaining -= dt * rate(k)
-		}
-		now += dt
-		for k, st := range running {
-			if st.remaining <= 1e-18 {
-				st.remaining = 0
-				st.done = true
-				st.endAt = now
-				delete(running, k)
-				remainingOps--
-			}
-		}
-	}
-
-	tr := &Trace{Spans: make([]Span, 0, len(states))}
-	for _, st := range states {
-		tr.Spans = append(tr.Spans, Span{
-			Op:    st.op,
-			Start: units.Seconds(st.startAt),
-			End:   units.Seconds(st.endAt),
-		})
-		if units.Seconds(st.endAt) > tr.Makespan {
-			tr.Makespan = units.Seconds(st.endAt)
-		}
-	}
-	sort.Slice(tr.Spans, func(i, j int) bool {
-		if tr.Spans[i].Start < tr.Spans[j].Start {
-			return true
-		}
-		if tr.Spans[i].Start > tr.Spans[j].Start {
-			return false
-		}
-		return tr.Spans[i].Op.ID < tr.Spans[j].Op.ID
-	})
-	return tr, nil
+	return p.Run(p.baseDur, cfg)
 }

@@ -1,30 +1,45 @@
 #!/bin/sh
-# bench_sweep.sh — run the sweep-engine benchmarks and record the
-# baseline as machine-readable JSON at the repo root (BENCH_sweep.json).
+# bench_sweep.sh — run the perf-contract benchmarks and record the
+# baselines as machine-readable JSON at the repo root.
 #
-# The recorded numbers are the telemetry layer's performance contract:
-# with no collector enabled the instrumented sweeps must stay within a
-# few percent of these (the span hot path is a nil check), so regressions
-# show up as a diff in this file.
+# Two contracts, two files:
 #
-# Usage: scripts/bench_sweep.sh [output.json]
+#   BENCH_sweep.json — the sweep-engine set (root package). The recorded
+#     numbers are the telemetry layer's performance contract: with no
+#     collector enabled the instrumented sweeps must stay within a few
+#     percent of these (the span hot path is a nil check).
+#
+#   BENCH_sim.json — the compiled-schedule set: the internal/sim
+#     re-time benchmarks (BenchmarkProgramReTime*, BenchmarkRunRebuild)
+#     plus the evolution-grid benchmark, which is the re-time path's
+#     end-to-end effect. Regressions show up as a diff in this file.
+#
+# Usage: scripts/bench_sweep.sh [sweep.json] [sim.json]
 # Environment: BENCH_COUNT (default 3) -count passed to go test.
 set -eu
 
-out="${1:-BENCH_sweep.json}"
+sweep_out="${1:-BENCH_sweep.json}"
+sim_out="${2:-BENCH_sim.json}"
 count="${BENCH_COUNT:-3}"
 cd "$(dirname "$0")/.."
 
-raw="$(mktemp)"
-trap 'rm -f "$raw"' EXIT
+raw_sweep="$(mktemp)"
+raw_sim="$(mktemp)"
+trap 'rm -f "$raw_sweep" "$raw_sim"' EXIT
 
-go test -run '^$' -bench 'Sweep|EvolutionGrid' -benchmem -count="$count" . | tee "$raw" >&2
+go test -run '^$' -bench 'Sweep|EvolutionGrid' -benchmem -count="$count" . | tee "$raw_sweep" >&2
+go test -run '^$' -bench 'ProgramReTime|RunRebuild' -benchmem -count="$count" ./internal/sim | tee "$raw_sim" >&2
+
+# The grid benchmark belongs to both contracts: it is the sweep set's
+# heaviest member and the compiled-schedule layer's acceptance number.
+grep '^BenchmarkSerializedEvolutionGrid' "$raw_sweep" >> "$raw_sim"
 
 # Parse `BenchmarkName-P  N  ns/op  B/op  allocs/op` lines into JSON,
 # keeping the best (minimum) ns/op across repetitions, as benchstat's
 # central tendency would. awk only — no dependencies beyond the Go
 # toolchain and POSIX sh.
-awk -v count="$count" '
+emit_json() {
+    awk -v count="$count" '
 /^Benchmark/ && NF >= 7 {
     name = $1
     sub(/-[0-9]+$/, "", name)
@@ -47,6 +62,9 @@ END {
             name, best[name], bestBytes[name], bestAllocs[name], (i < n-1) ? "," : ""
     }
     printf "  ]\n}\n"
-}' "$raw" > "$out"
+}' "$1" > "$2"
+    echo "wrote $2" >&2
+}
 
-echo "wrote $out" >&2
+emit_json "$raw_sweep" "$sweep_out"
+emit_json "$raw_sim" "$sim_out"
