@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test race lint bench bench-sim bench-json clean
+.PHONY: build test race lint bench bench-sim bench-stream bench-json bench-gate bench-report clean
 
 build:
 	$(GO) build ./...
@@ -32,12 +32,31 @@ bench-sim:
 	$(GO) test -run '^$$' -bench 'ProgramReTime|RunRebuild' -benchmem ./internal/sim
 	$(GO) test -run '^$$' -bench 'SerializedEvolutionGrid' -benchmem .
 
-# bench-json refreshes BENCH_sweep.json and BENCH_sim.json, the
-# recorded baselines the telemetry layer and the compiled-schedule
-# layer are held to (see EXPERIMENTS.md "Sweep benchmark baseline" and
-# "Compiled-schedule baseline").
+# bench-stream prints the streaming-sweep benchmarks: sink encoding,
+# online reducers, the ordered chunk engine, and the zero-alloc arena
+# re-time step.
+bench-stream:
+	$(GO) test -run '^$$' -bench 'NDJSONEmit|ParetoEmit|TopKEmit' -benchmem ./internal/stream
+	$(GO) test -run '^$$' -bench 'StreamCtx' -benchmem ./internal/parallel
+	$(GO) test -run '^$$' -bench 'ArenaReTime' -benchmem ./internal/dist
+
+# bench-json refreshes BENCH_sweep.json, BENCH_sim.json, and
+# BENCH_stream.json, the recorded baselines the telemetry layer, the
+# compiled-schedule layer, and the streaming sweep are held to (see
+# EXPERIMENTS.md). Re-render BENCHMARK.md afterwards.
 bench-json:
 	scripts/bench_sweep.sh
+	scripts/bench_report.sh
+
+# bench-gate re-runs the gated sets and fails on a >10% ns/op or any
+# allocs/op regression against the committed baselines — the same
+# check CI runs.
+bench-gate:
+	scripts/bench_gate.sh
+
+# bench-report re-renders BENCHMARK.md from the committed baselines.
+bench-report:
+	scripts/bench_report.sh
 
 clean:
 	rm -f twocs twocslint

@@ -15,6 +15,7 @@
 //	algorithmic  Figure 7: algorithmic slack and edge scaling
 //	tp           Figure 9b: required tensor-parallel scaling
 //	serialized   Figures 10/12: serialized communication fraction grid
+//	sweep-stream streaming design-space grid with online digests
 //	overlapped   Figures 11/13: overlapped communication percentage grid
 //	casestudy    Figure 14: end-to-end serialized + overlapped case study
 //	validate     Figure 15: operator-level model accuracy
@@ -255,6 +256,8 @@ func dispatch(ctx context.Context, cmd string, rest []string, w io.Writer) error
 		return cmdTP(rest, w)
 	case "serialized":
 		return cmdSerialized(ctx, rest, w)
+	case "sweep-stream":
+		return cmdSweepStream(ctx, rest, w)
 	case "overlapped":
 		return cmdOverlapped(ctx, rest, w)
 	case "casestudy":
@@ -326,6 +329,10 @@ subcommands:
   algorithmic  Figure 7: algorithmic slack and edge scaling
   tp           Figure 9b: required tensor-parallel scaling
   serialized   Figures 10/12: serialized comm fraction (-flopbw 1|2|4)
+  sweep-stream stream the (evolution × H × SL × TP) design-space grid as
+               NDJSON/CSV rows with online digests (-out, -format,
+               -scenarios, -topk, -pareto, -marginals); bounded memory
+               at any grid size
   overlapped   Figures 11/13: overlapped comm percentage (-flopbw, -tp)
   casestudy    Figure 14: end-to-end case study
   validate     Figure 15: operator-level model accuracy

@@ -1,0 +1,135 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestSweepStreamDeterministic is the acceptance gate for the streaming
+// subcommand: the NDJSON artifact written with -out and the digest
+// tables printed to stdout must be byte-identical at -workers 1 and
+// -workers 4 (CI runs this under -race, which also exercises the
+// concurrent chunk workers).
+func TestSweepStreamDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full evolution grid; skipped in -short")
+	}
+	dir := t.TempDir()
+	var goldenFile []byte
+	var goldenOut string
+	for _, workers := range []string{"1", "4"} {
+		path := filepath.Join(dir, "rows-"+workers+".ndjson")
+		out := runCmd(t, "-workers", workers, "sweep-stream",
+			"-out", path, "-topk", "5", "-pareto", "-marginals")
+		rows, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("reading -out artifact: %v", err)
+		}
+		if goldenFile == nil {
+			goldenFile, goldenOut = rows, out
+			continue
+		}
+		if string(rows) != string(goldenFile) {
+			t.Fatalf("-workers %s wrote a different NDJSON artifact than -workers 1", workers)
+		}
+		if out != goldenOut {
+			t.Fatalf("-workers %s printed different digests than -workers 1:\n--- workers=1 ---\n%s\n--- workers=%s ---\n%s",
+				workers, goldenOut, workers, out)
+		}
+	}
+	if !strings.Contains(goldenOut, "Top 5 configurations") ||
+		!strings.Contains(goldenOut, "Pareto frontier") ||
+		!strings.Contains(goldenOut, "comm-fraction marginals") {
+		t.Fatalf("digest tables missing from stdout:\n%s", goldenOut)
+	}
+}
+
+// TestSweepStreamNDJSONWellFormed parses every stdout line of a small
+// streamed run: each row must be valid JSON with contiguous indexes,
+// and the last line must be a complete trailer accounting for them.
+func TestSweepStreamNDJSONWellFormed(t *testing.T) {
+	out := runCmd(t, "sweep-stream", "-scenarios", "1")
+	sc := bufio.NewScanner(strings.NewReader(out))
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var rows int64
+	var sawTrailer bool
+	for sc.Scan() {
+		line := sc.Text()
+		var m map[string]any
+		if err := json.Unmarshal([]byte(line), &m); err != nil {
+			t.Fatalf("line %d is not JSON: %v\n%s", rows, err, line)
+		}
+		if sawTrailer {
+			t.Fatalf("row after the trailer: %s", line)
+		}
+		if m["trailer"] == true {
+			sawTrailer = true
+			if m["complete"] != true {
+				t.Fatalf("trailer not complete: %s", line)
+			}
+			if int64(m["rows"].(float64)) != rows {
+				t.Fatalf("trailer counts %v rows, stream had %d", m["rows"], rows)
+			}
+			continue
+		}
+		if int64(m["i"].(float64)) != rows {
+			t.Fatalf("row %d carries index %v", rows, m["i"])
+		}
+		rows++
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if !sawTrailer {
+		t.Fatal("stream ended without a trailer")
+	}
+	if rows == 0 {
+		t.Fatal("no rows streamed")
+	}
+}
+
+// TestSweepStreamCSV checks the CSV artifact path end to end: header,
+// per-row field count, and the comment trailer.
+func TestSweepStreamCSV(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "rows.csv")
+	runCmd(t, "sweep-stream", "-scenarios", "1", "-format", "csv", "-out", path)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(string(data), "\n"), "\n")
+	if len(lines) < 3 {
+		t.Fatalf("CSV artifact too short: %d lines", len(lines))
+	}
+	if lines[0] != "i,evo,flopbw,h,sl,b,tp,iter_s,comm_frac,mem_bytes" {
+		t.Fatalf("bad CSV header: %q", lines[0])
+	}
+	last := lines[len(lines)-1]
+	if !strings.HasPrefix(last, "#trailer ") || !strings.Contains(last, "complete=true") {
+		t.Fatalf("bad CSV trailer: %q", last)
+	}
+	for i, line := range lines[1 : len(lines)-1] {
+		if got := strings.Count(line, ","); got != 9 {
+			t.Fatalf("CSV row %d has %d commas: %q", i, got, line)
+		}
+	}
+}
+
+// TestSweepStreamFlagErrors covers the argument failures.
+func TestSweepStreamFlagErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{"sweep-stream", "-format", "parquet"},
+		{"sweep-stream", "-scenarios", "-2"},
+		{"sweep-stream", "-scenarios", "3", "-flopbw-max", "0.5"},
+		{"sweep-stream", "-topk", "-1"},
+	} {
+		var b strings.Builder
+		if err := run(args, &b); err == nil {
+			t.Errorf("run(%v) accepted bad flags", args)
+		}
+	}
+}

@@ -1,0 +1,138 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"twocs/internal/hw"
+	"twocs/internal/model"
+	"twocs/internal/parallel"
+	"twocs/internal/stream"
+	"twocs/internal/telemetry"
+	"twocs/internal/units"
+)
+
+// This file is the streaming counterpart of the materializing grids in
+// sweep.go: the same (evolution × H × SL × TP) space, but rows flow
+// into a stream.Sink as chunks complete instead of accumulating in one
+// result slice. Peak memory is O(workers × chunk) grid points plus
+// whatever the sink retains — independent of grid size — which is what
+// makes a 10⁶-10⁷ point design-space search practical. The ordering
+// contract is unchanged: rows arrive in grid order at any worker
+// count, failures surface the lowest-index error after the completed
+// prefix was delivered, and cancellation delivers the claimed prefix.
+// Either way the sink's Close carries a trailer saying what happened.
+
+// streamTask precomputes the per-task, evolution-independent pieces of
+// a stream row: the memory footprint and the enumerated coordinates.
+type streamTask struct {
+	serializedTask
+	mem units.Bytes
+}
+
+func enumerateStream(hs, sls, tps []int, b int) ([]streamTask, error) {
+	tasks, err := enumerateSerialized(hs, sls, tps, b)
+	if err != nil {
+		return nil, err
+	}
+	if len(tasks) == 0 {
+		return nil, fmt.Errorf("core: empty serialized sweep")
+	}
+	memModel := model.DefaultMemoryModel()
+	out := make([]streamTask, len(tasks))
+	for i, t := range tasks {
+		mem, err := memModel.PerDevice(t.cfg, t.tp)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = streamTask{serializedTask: t, mem: mem}
+	}
+	return out, nil
+}
+
+// trailerReason renders a stream-ending error for the trailer row.
+func trailerReason(err error) string {
+	switch {
+	case err == nil:
+		return ""
+	case errors.Is(err, context.Canceled):
+		return "canceled"
+	case errors.Is(err, context.DeadlineExceeded):
+		return "deadline exceeded"
+	default:
+		return err.Error()
+	}
+}
+
+// StreamSweepCtx streams the serialized sweep at one hardware scenario:
+// every (H × SL × TP) point at fixed B, in grid order, into sink. See
+// StreamEvolutionGridCtx for the contract.
+func (a *Analyzer) StreamSweepCtx(ctx context.Context, hs, sls, tps []int, b int, evo hw.Evolution, sink stream.Sink) error {
+	return a.StreamEvolutionGridCtx(ctx, hs, sls, tps, b, []hw.Evolution{evo}, sink)
+}
+
+// StreamEvolutionGridCtx streams the full (evolution × H × SL × TP)
+// grid at fixed B into sink, evolution-major in grid order — the same
+// point order and values as SerializedEvolutionGridCtx, without ever
+// materializing the grid. Each row carries the three search objectives:
+// projected iteration time, serialized-communication fraction, and
+// per-device memory footprint.
+//
+// Rows are produced by Analyzer.Workers chunk workers and emitted
+// strictly in index order; output through a deterministic sink is
+// byte-identical at any worker count. On cancellation or point failure
+// the completed prefix is emitted, then the error is returned — after
+// sink.Close ran with a trailer recording the row count and the reason,
+// so a truncated artifact is well-formed and says it is truncated.
+func (a *Analyzer) StreamEvolutionGridCtx(ctx context.Context, hs, sls, tps []int, b int, evos []hw.Evolution, sink stream.Sink) error {
+	defer telemetry.Active().Start("core.StreamEvolutionGrid").End()
+	if sink == nil {
+		return fmt.Errorf("core: nil sink")
+	}
+	if len(evos) == 0 {
+		return fmt.Errorf("core: no evolution scenarios")
+	}
+	tasks, err := enumerateStream(hs, sls, tps, b)
+	if err != nil {
+		return err
+	}
+	total := int64(len(evos)) * int64(len(tasks))
+	var rows int64
+	streamErr := parallel.StreamCtx(ctx, a.workers(), int(total), 0,
+		func(_ context.Context, i int) (stream.Row, error) {
+			evo, t := evos[i/len(tasks)], tasks[i%len(tasks)]
+			proj, err := a.SerializedFraction(t.cfg, t.tp, evo)
+			if err != nil {
+				return stream.Row{}, err
+			}
+			return stream.Row{
+				Index: int64(i),
+				Evo:   evo.Name, FlopVsBW: evo.FlopVsBW(),
+				H: t.h, SL: t.sl, B: b, TP: t.tp,
+				IterTime: proj.Total(),
+				CommFrac: proj.CommFraction(),
+				MemBytes: t.mem,
+			}, nil
+		},
+		func(_ int, vals []stream.Row) error {
+			for _, r := range vals {
+				if err := sink.Emit(r); err != nil {
+					return err
+				}
+			}
+			rows += int64(len(vals))
+			return nil
+		})
+	telemetry.Active().Count("core.stream.rows", rows)
+	closeErr := sink.Close(stream.Trailer{
+		Rows:     rows,
+		Total:    total,
+		Complete: streamErr == nil && rows == total,
+		Reason:   trailerReason(streamErr),
+	})
+	if streamErr != nil {
+		return streamErr
+	}
+	return closeErr
+}

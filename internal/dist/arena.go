@@ -1,0 +1,49 @@
+package dist
+
+import (
+	"fmt"
+
+	"twocs/internal/sim"
+	"twocs/internal/units"
+)
+
+// Arena is the caller-owned scratch of the compiled re-time loop: the
+// duration buffer Refill writes, the simulator RunState, and the Trace
+// RunReuse re-times into. One arena per goroutine; reusing it across
+// points (and across CompiledIterations — the state is rebound when the
+// program changes) makes the whole price-and-re-time step allocation-
+// free in steady state, which is what keeps a million-point sweep's
+// heap flat.
+//
+// The zero value is ready to use. An Arena must not be shared between
+// goroutines; the trace returned by ReTime aliases the arena and is
+// only valid until the next ReTime call.
+type Arena struct {
+	durs  []units.Seconds
+	state *sim.RunState
+	owner *sim.Program
+	trace sim.Trace
+}
+
+// ReTime prices the compiled schedule under timer and re-times it in
+// the arena: Refill into the arena's duration buffer, RunReuse into the
+// arena's trace. The returned trace is arena-owned — read it before the
+// next ReTime on the same arena and do not retain it.
+func (c *CompiledIteration) ReTime(timer *Timer, cfg sim.Config, a *Arena) (*sim.Trace, error) {
+	if a == nil {
+		return nil, fmt.Errorf("dist: nil arena")
+	}
+	durs, err := c.Refill(timer, a.durs)
+	if err != nil {
+		return nil, err
+	}
+	a.durs = durs
+	if a.state == nil || a.owner != c.prog {
+		a.state = c.prog.NewState()
+		a.owner = c.prog
+	}
+	if err := c.prog.RunReuse(a.state, durs, cfg, &a.trace); err != nil {
+		return nil, err
+	}
+	return &a.trace, nil
+}

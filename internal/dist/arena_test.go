@@ -1,0 +1,109 @@
+package dist
+
+import (
+	"reflect"
+	"testing"
+
+	"twocs/internal/hw"
+	"twocs/internal/kernels"
+	"twocs/internal/sim"
+)
+
+// TestArenaReTimeMatchesRun: the arena path must reproduce the
+// allocating Run path bit-for-bit, including when one arena is reused
+// across evolutions and across differently-shaped compiled iterations.
+func TestArenaReTimeMatchesRun(t *testing.T) {
+	var arena Arena
+	cfg := sim.Config{InterferenceSlowdown: 1.3}
+	for _, plan := range []Plan{testPlan(2, 1), testPlan(2, 2)} {
+		for _, evo := range []hw.Evolution{hw.Identity(), hw.FlopVsBWScenario(4)} {
+			timer := evolvedTimer(t, plan, evo)
+			c, err := CompileIteration(plan, timer, ScheduleOptions{InterferenceSlowdown: 1.3})
+			if err != nil {
+				t.Fatalf("CompileIteration: %v", err)
+			}
+			_, want, err := c.Run(timer, cfg)
+			if err != nil {
+				t.Fatalf("Run: %v", err)
+			}
+			got, err := c.ReTime(timer, cfg, &arena)
+			if err != nil {
+				t.Fatalf("ReTime: %v", err)
+			}
+			if want.Makespan != got.Makespan || !reflect.DeepEqual(want.Spans, got.Spans) {
+				t.Fatalf("plan TP=%d DP=%d evo %s: arena trace diverged from Run",
+					plan.TP, plan.DP, evo.Name)
+			}
+			if !reflect.DeepEqual(want.LabelTime(), got.LabelTime()) {
+				t.Fatalf("plan TP=%d DP=%d evo %s: arena trace label sums diverged",
+					plan.TP, plan.DP, evo.Name)
+			}
+		}
+	}
+}
+
+// TestArenaReTimeNilArena covers the argument error.
+func TestArenaReTimeNilArena(t *testing.T) {
+	plan := testPlan(2, 1)
+	timer := newTimer(t, plan)
+	c, err := CompileIteration(plan, timer, ScheduleOptions{})
+	if err != nil {
+		t.Fatalf("CompileIteration: %v", err)
+	}
+	if _, err := c.ReTime(timer, sim.Config{}, nil); err == nil {
+		t.Fatal("nil arena accepted")
+	}
+}
+
+// TestArenaReTimeAllocFree pins the full price-and-re-time step —
+// Refill plus RunReuse through one arena — at zero steady-state
+// allocations (telemetry disabled, as in a sweep worker).
+func TestArenaReTimeAllocFree(t *testing.T) {
+	plan := testPlan(2, 2)
+	timer := newTimer(t, plan)
+	c, err := CompileIteration(plan, timer, ScheduleOptions{})
+	if err != nil {
+		t.Fatalf("CompileIteration: %v", err)
+	}
+	cfg := sim.Config{InterferenceSlowdown: 1.4}
+	var arena Arena
+	if _, err := c.ReTime(timer, cfg, &arena); err != nil {
+		t.Fatalf("warmup: %v", err)
+	}
+	avg := testing.AllocsPerRun(100, func() {
+		if _, err := c.ReTime(timer, cfg, &arena); err != nil {
+			t.Fatalf("ReTime: %v", err)
+		}
+	})
+	if avg > 0 {
+		t.Fatalf("arena re-time allocates %.1f objects/point, want 0", avg)
+	}
+}
+
+// BenchmarkArenaReTime is the per-grid-point cost of the streaming
+// sweep's simulation leg: price every op under a timer and re-time the
+// compiled schedule, all in caller-owned scratch.
+func BenchmarkArenaReTime(b *testing.B) {
+	plan := testPlan(2, 2)
+	calc, err := kernels.NewCalculator(plan.Cluster.Node.Device)
+	if err != nil {
+		b.Fatal(err)
+	}
+	timer, err := NewTimer(plan, calc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	c, err := CompileIteration(plan, timer, ScheduleOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := sim.Config{InterferenceSlowdown: 1.4}
+	var arena Arena
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.ReTime(timer, cfg, &arena); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -37,8 +37,13 @@ var DetRange = &Analyzer{
 // are diffed byte-for-byte across worker counts (the PR 3 concurrency
 // gate): an unsorted map range in a snapshot would leak goroutine
 // scheduling into the dump.
-var detRangePkgSuffixes = []string{"internal/report", "internal/telemetry"}
+var detRangePkgSuffixes = []string{"internal/report", "internal/telemetry", "internal/stream"}
 
+// internal/stream qualifies because its sinks define the row-order
+// contract for streamed sweep artifacts: NDJSON/CSV output is diffed
+// byte-for-byte across worker counts, so a map range anywhere in the
+// package risks ordering an emitted artifact by map iteration.
+//
 // detRangeFiles designates individual files as determinism-critical by
 // basename, wherever they live.
 var detRangeFiles = map[string]bool{
@@ -118,6 +123,11 @@ var outputMethodNames = map[string]bool{
 	// telemetry sinks: a metrics dump or trace export emitted from
 	// inside a map range would be ordered by map iteration.
 	"WriteMetrics": true, "WriteChromeTrace": true,
+	// stream sinks: Emit is the designated row-output method of
+	// stream.Sink — rows pushed from inside a map range would reach the
+	// NDJSON/CSV artifact in randomized order, breaking the sweep's
+	// byte-determinism contract.
+	"Emit": true,
 }
 
 func bodyProducesOutput(body *ast.BlockStmt) bool {

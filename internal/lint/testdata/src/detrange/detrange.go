@@ -87,3 +87,26 @@ func metricsSortedOK(w io.Writer, snaps map[string]snapshotter) {
 		_ = snaps[k].WriteMetrics(w)
 	}
 }
+
+// --- stream sinks (PR 6) ---
+
+type row struct{ h, sl int }
+
+type rowSink interface{ Emit(row) error }
+
+func emitPerKeyUnsorted(s rowSink, grid map[int]row) {
+	for _, r := range grid { // want "feeding formatted output"
+		_ = s.Emit(r)
+	}
+}
+
+func emitSortedOK(s rowSink, grid map[int]row) {
+	var keys []int
+	for k := range grid {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	for _, k := range keys {
+		_ = s.Emit(grid[k])
+	}
+}

@@ -148,14 +148,17 @@ func (t *Trace) ExposedDPComm(device int) units.Seconds {
 // The map is computed once per trace and shared across calls; callers
 // must treat it as read-only.
 func (t *Trace) LabelTime() map[string]units.Seconds {
-	t.labelOnce.Do(func() {
+	t.mu.Lock()
+	if t.labels == nil {
 		out := make(map[string]units.Seconds)
 		for _, s := range t.Spans {
 			out[s.Op.Label] += s.Duration()
 		}
 		t.labels = out
-	})
-	return t.labels
+	}
+	m := t.labels
+	t.mu.Unlock()
+	return m
 }
 
 // Devices returns the sorted distinct device indices in the trace.

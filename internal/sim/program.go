@@ -3,7 +3,9 @@ package sim
 import (
 	"fmt"
 	"math"
+	"slices"
 	"sort"
+	"strings"
 	"sync"
 
 	"twocs/internal/telemetry"
@@ -202,17 +204,35 @@ func (p *Program) Run(durations []units.Seconds, cfg Config) (*Trace, error) {
 // RunWith is Run over caller-owned scratch state (from NewState). The
 // state must belong to this Program and must not be used concurrently.
 func (p *Program) RunWith(st *RunState, durations []units.Seconds, cfg Config) (*Trace, error) {
-	if st == nil || st.owner != p {
-		return nil, fmt.Errorf("sim: run state does not belong to this program")
-	}
-	if len(durations) != len(p.ops) {
-		return nil, fmt.Errorf("sim: %d durations for %d ops", len(durations), len(p.ops))
-	}
-	if err := cfg.Faults.Validate(); err != nil {
+	tr := &Trace{}
+	if err := p.RunReuse(st, durations, cfg, tr); err != nil {
 		return nil, err
 	}
+	return tr, nil
+}
+
+// RunReuse is RunWith into a caller-owned Trace: the schedule is
+// re-timed and tr's span storage is reused (grown only when the op
+// count exceeds its capacity), dropping the re-time loop's last
+// per-point allocations. Steady state is zero allocs per run. tr must
+// not be read concurrently with the call; its previous contents are
+// overwritten.
+func (p *Program) RunReuse(st *RunState, durations []units.Seconds, cfg Config, tr *Trace) error {
+	if tr == nil {
+		return fmt.Errorf("sim: nil trace")
+	}
+	if st == nil || st.owner != p {
+		return fmt.Errorf("sim: run state does not belong to this program")
+	}
+	if len(durations) != len(p.ops) {
+		return fmt.Errorf("sim: %d durations for %d ops", len(durations), len(p.ops))
+	}
+	if err := cfg.Faults.Validate(); err != nil {
+		return err
+	}
 	if len(p.ops) == 0 {
-		return &Trace{}, nil
+		tr.resize(0)
+		return nil
 	}
 	slow := cfg.InterferenceSlowdown
 	if slow < 1 {
@@ -220,7 +240,7 @@ func (p *Program) RunWith(st *RunState, durations []units.Seconds, cfg Config) (
 	}
 	for i, d := range durations {
 		if d < 0 || math.IsNaN(float64(d)) || math.IsInf(float64(d), 0) {
-			return nil, fmt.Errorf("sim: op %q has invalid duration %v", p.ops[i].ID, d)
+			return fmt.Errorf("sim: op %q has invalid duration %v", p.ops[i].ID, d)
 		}
 		st.remaining[i] = float64(d)
 		st.done[i] = false
@@ -291,7 +311,7 @@ func (p *Program) RunWith(st *RunState, durations []units.Seconds, cfg Config) (
 				}
 			}
 			sort.Strings(stuck)
-			return nil, fmt.Errorf("sim: deadlock, %d ops blocked: %v", len(stuck), stuck)
+			return fmt.Errorf("sim: deadlock, %d ops blocked: %v", len(stuck), stuck)
 		}
 
 		// Advance to the earliest completion under current rates.
@@ -331,7 +351,7 @@ func (p *Program) RunWith(st *RunState, durations []units.Seconds, cfg Config) (
 		}
 	}
 
-	tr := &Trace{Spans: make([]Span, len(p.ops))}
+	tr.resize(len(p.ops))
 	for i, op := range p.ops {
 		op.Duration = durations[i]
 		tr.Spans[i] = Span{
@@ -344,27 +364,21 @@ func (p *Program) RunWith(st *RunState, durations []units.Seconds, cfg Config) (
 		}
 	}
 	sortSpans(tr.Spans)
-	return tr, nil
+	return nil
 }
 
 // sortSpans orders spans by (start time, op ID) — the trace's canonical
-// deterministic order.
+// deterministic order. slices.SortFunc keeps the re-time hot path
+// allocation-free: sort.Sort boxes the slice into an interface and
+// sort.Slice additionally builds a closure, each a per-run allocation.
 func sortSpans(spans []Span) {
-	sort.Sort(spanOrder(spans))
-}
-
-// spanOrder implements the canonical span order without the per-call
-// closure allocation sort.Slice incurs on the re-time hot path.
-type spanOrder []Span
-
-func (s spanOrder) Len() int      { return len(s) }
-func (s spanOrder) Swap(i, j int) { s[i], s[j] = s[j], s[i] }
-func (s spanOrder) Less(i, j int) bool {
-	if s[i].Start < s[j].Start {
-		return true
-	}
-	if s[i].Start > s[j].Start {
-		return false
-	}
-	return s[i].Op.ID < s[j].Op.ID
+	slices.SortFunc(spans, func(a, b Span) int {
+		if a.Start < b.Start {
+			return -1
+		}
+		if a.Start > b.Start {
+			return 1
+		}
+		return strings.Compare(a.Op.ID, b.Op.ID)
+	})
 }

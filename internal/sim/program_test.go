@@ -279,11 +279,12 @@ func TestProgramRunValidation(t *testing.T) {
 }
 
 // reTimeAllocBound is the enforced steady-state allocation ceiling of
-// one RunWith call over caller-owned scratch: the trace, its span slice,
-// the sort.Sort interface header, and nothing proportional to re-runs.
-// CI's alloc smoke step greps for this test; raising the bound is an
+// one RunReuse call over caller-owned scratch and trace: exactly zero.
+// The trace struct, its span slice, and the sort all reuse
+// caller-owned storage, so nothing is proportional to re-runs. CI's
+// alloc smoke step greps for this test; raising the bound is an
 // explicit reviewable change here, not a silent regression.
-const reTimeAllocBound = 8
+const reTimeAllocBound = 0
 
 // TestProgramReTimeAllocBound pins the re-time hot path's allocations.
 func TestProgramReTimeAllocBound(t *testing.T) {
@@ -295,16 +296,68 @@ func TestProgramReTimeAllocBound(t *testing.T) {
 	st := p.NewState()
 	durs := p.Durations()
 	cfg := Config{InterferenceSlowdown: 1.4}
-	if _, err := p.RunWith(st, durs, cfg); err != nil {
+	var tr Trace
+	if err := p.RunReuse(st, durs, cfg, &tr); err != nil {
 		t.Fatalf("warmup: %v", err)
 	}
 	avg := testing.AllocsPerRun(200, func() {
-		if _, err := p.RunWith(st, durs, cfg); err != nil {
-			t.Fatalf("RunWith: %v", err)
+		if err := p.RunReuse(st, durs, cfg, &tr); err != nil {
+			t.Fatalf("RunReuse: %v", err)
 		}
 	})
 	if avg > reTimeAllocBound {
 		t.Fatalf("re-time path allocates %.1f objects/run, bound is %d", avg, reTimeAllocBound)
+	}
+}
+
+// TestRunReuseMatchesRunWith: the reusing path must produce exactly the
+// trace the allocating path does, across shapes and re-sizes (growing
+// and shrinking the reused trace between programs).
+func TestRunReuseMatchesRunWith(t *testing.T) {
+	cfg := Config{InterferenceSlowdown: 1.3}
+	var reused Trace
+	for _, n := range []int{6, 24, 2, 15} {
+		p, err := Compile(iterationOps(n))
+		if err != nil {
+			t.Fatalf("Compile(%d): %v", n, err)
+		}
+		st := p.NewState()
+		durs := p.Durations()
+		for i := range durs {
+			durs[i] *= units.Seconds(1 + float64(i%3)*0.25)
+		}
+		want, err := p.RunWith(p.NewState(), durs, cfg)
+		if err != nil {
+			t.Fatalf("RunWith(%d): %v", n, err)
+		}
+		if err := p.RunReuse(st, durs, cfg, &reused); err != nil {
+			t.Fatalf("RunReuse(%d): %v", n, err)
+		}
+		if !reflect.DeepEqual(want.Spans, reused.Spans) || want.Makespan != reused.Makespan {
+			t.Fatalf("n=%d: RunReuse diverged from RunWith", n)
+		}
+		// The lazy analysis indexes must rebuild against the new spans.
+		if !reflect.DeepEqual(want.LabelTime(), reused.LabelTime()) {
+			t.Fatalf("n=%d: reused trace serves stale label sums", n)
+		}
+	}
+}
+
+// TestRunReuseValidation covers the argument errors of the reuse path.
+func TestRunReuseValidation(t *testing.T) {
+	p, err := Compile(iterationOps(2))
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	var tr Trace
+	if err := p.RunReuse(p.NewState(), p.Durations(), Config{}, nil); err == nil {
+		t.Fatal("expected nil-trace error")
+	}
+	if err := p.RunReuse(nil, p.Durations(), Config{}, &tr); err == nil {
+		t.Fatal("expected nil-state error")
+	}
+	if err := p.RunReuse(p.NewState(), make([]units.Seconds, 1), Config{}, &tr); err == nil {
+		t.Fatal("expected length-mismatch error")
 	}
 }
 
@@ -370,7 +423,7 @@ func TestLabelTimeCached(t *testing.T) {
 }
 
 // BenchmarkProgramReTime measures the compile-once/re-time-many fast
-// path: one RunWith per iteration over caller-owned scratch.
+// path: one RunReuse per iteration over caller-owned scratch and trace.
 func BenchmarkProgramReTime(b *testing.B) {
 	ops := iterationOps(24)
 	p, err := Compile(ops)
@@ -380,10 +433,11 @@ func BenchmarkProgramReTime(b *testing.B) {
 	st := p.NewState()
 	durs := p.Durations()
 	cfg := Config{InterferenceSlowdown: 1.4}
+	var tr Trace
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := p.RunWith(st, durs, cfg); err != nil {
+		if err := p.RunReuse(st, durs, cfg, &tr); err != nil {
 			b.Fatal(err)
 		}
 	}

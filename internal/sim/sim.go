@@ -91,33 +91,56 @@ type Config struct {
 
 // Trace is the result of running a schedule. A Trace must not be
 // copied after first use: the analysis passes (LabelTime, CriticalPath)
-// lazily build shared indexes guarded by sync.Once fields.
+// lazily build shared indexes guarded by an internal mutex.
 type Trace struct {
 	Spans []Span
 	// Makespan is the completion time of the last op.
 	Makespan units.Seconds
 
-	// idOnce guards byID, the span-by-op-ID index every backward walk
-	// needs; built once per trace instead of once per call.
-	idOnce sync.Once
-	byID   map[string]Span
-	// labelOnce guards labels, the executed-duration-per-label sums.
-	labelOnce sync.Once
-	labels    map[string]units.Seconds
+	// mu guards the lazily built analysis indexes below. A mutex with
+	// nil-map sentinels (rather than sync.Once fields) lets
+	// Program.RunReuse clear them for the next re-time without copying a
+	// used lock, which `go vet` rightly rejects.
+	mu sync.Mutex
+	// byID is the span-by-op-ID index every backward walk needs; built
+	// once per trace instead of once per call.
+	byID map[string]Span
+	// labels holds the executed-duration-per-label sums.
+	labels map[string]units.Seconds
 }
 
 // index returns the span-by-op-ID map, built on first use and shared
 // by every subsequent analysis call on this trace. Callers must treat
 // it as read-only.
 func (t *Trace) index() map[string]Span {
-	t.idOnce.Do(func() {
+	t.mu.Lock()
+	if t.byID == nil {
 		byID := make(map[string]Span, len(t.Spans))
 		for _, s := range t.Spans {
 			byID[s.Op.ID] = s
 		}
 		t.byID = byID
-	})
-	return t.byID
+	}
+	m := t.byID
+	t.mu.Unlock()
+	return m
+}
+
+// resize prepares the trace for reuse by Program.RunReuse: Spans is
+// re-sliced to n ops (reusing its backing array whenever it is large
+// enough), the makespan is cleared, and the lazy analysis indexes are
+// dropped so they rebuild against the new spans.
+func (t *Trace) resize(n int) {
+	if cap(t.Spans) < n {
+		t.Spans = make([]Span, n)
+	} else {
+		t.Spans = t.Spans[:n]
+	}
+	t.Makespan = 0
+	t.mu.Lock()
+	t.byID = nil
+	t.labels = nil
+	t.mu.Unlock()
 }
 
 // Run executes the schedule and returns its trace. Ops on one stream run

@@ -1,0 +1,342 @@
+package stream
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"twocs/internal/units"
+)
+
+// randomGrid builds a deterministic pseudo-random grid of n rows with
+// clustered objective values (so dominance relations and marginal
+// groups actually occur).
+func randomGrid(rng *rand.Rand, n int) []Row {
+	evos := []string{"base", "flop4x", "net4x"}
+	hs := []int{1024, 4096, 16384}
+	sls := []int{2048, 8192}
+	bs := []int{1, 4}
+	tps := []int{8, 64, 256}
+	rows := make([]Row, n)
+	for i := range rows {
+		rows[i] = Row{
+			Index:    int64(i),
+			Evo:      evos[rng.Intn(len(evos))],
+			FlopVsBW: float64(int(1) << rng.Intn(3)),
+			H:        hs[rng.Intn(len(hs))],
+			SL:       sls[rng.Intn(len(sls))],
+			B:        bs[rng.Intn(len(bs))],
+			TP:       tps[rng.Intn(len(tps))],
+			// Coarse quantization produces exact-tie objective values,
+			// exercising the "no worse on all, better on one" edge and the
+			// index tie-break.
+			IterTime: units.Seconds(float64(rng.Intn(8)+1) * 0.01),
+			CommFrac: float64(rng.Intn(10)) * 0.1,
+			MemBytes: units.Bytes(float64(rng.Intn(6)+1) * 1e9),
+		}
+	}
+	return rows
+}
+
+// bruteFrontier is the O(n²) oracle: a row is on the frontier iff no
+// other row dominates it.
+func bruteFrontier(rows []Row) []Row {
+	var out []Row
+	for _, r := range rows {
+		dominated := false
+		for _, other := range rows {
+			if dominates(other, r) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			out = append(out, r)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return betterRow(out[i], out[j]) })
+	return out
+}
+
+func rowKey(r Row) string {
+	return fmt.Sprintf("%d/%s/%g/%d/%d/%d/%d/%g/%g/%g",
+		r.Index, r.Evo, r.FlopVsBW, r.H, r.SL, r.B, r.TP,
+		float64(r.IterTime), r.CommFrac, float64(r.MemBytes))
+}
+
+func diffRows(t *testing.T, label string, got, want []Row) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: got %d rows, oracle has %d", label, len(got), len(want))
+	}
+	for i := range got {
+		if rowKey(got[i]) != rowKey(want[i]) {
+			t.Fatalf("%s: row %d diverges:\n got  %+v\n want %+v", label, i, got[i], want[i])
+		}
+	}
+}
+
+// TestParetoOracle checks the online frontier against the brute-force
+// dominance oracle on seeded random grids. Duplicated objective vectors
+// are deliberately frequent: the frontier must keep mutually
+// non-dominating ties.
+func TestParetoOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		n := rng.Intn(200) + 1
+		rows := randomGrid(rng, n)
+		p := NewPareto()
+		for _, r := range rows {
+			if err := p.Emit(r); err != nil {
+				t.Fatal(err)
+			}
+		}
+		diffRows(t, fmt.Sprintf("trial %d (n=%d)", trial, n), p.Frontier(), bruteFrontier(rows))
+		if p.Size() != len(bruteFrontier(rows)) {
+			t.Fatalf("trial %d: Size() = %d, oracle %d", trial, p.Size(), len(bruteFrontier(rows)))
+		}
+	}
+}
+
+// TestParetoFrontierInternalConsistency: no frontier member may
+// dominate another.
+func TestParetoFrontierInternalConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	p := NewPareto()
+	for _, r := range randomGrid(rng, 500) {
+		if err := p.Emit(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f := p.Frontier()
+	for i := range f {
+		for j := range f {
+			if i != j && dominates(f[i], f[j]) {
+				t.Fatalf("frontier member %d dominates member %d", i, j)
+			}
+		}
+	}
+}
+
+// TestTopKOracle checks the bounded heap against sorting the full
+// materialized grid.
+func TestTopKOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 30; trial++ {
+		n := rng.Intn(300) + 1
+		k := rng.Intn(20) + 1
+		rows := randomGrid(rng, n)
+		tk, err := NewTopK(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range rows {
+			if err := tk.Emit(r); err != nil {
+				t.Fatal(err)
+			}
+		}
+		oracle := append([]Row(nil), rows...)
+		sort.Slice(oracle, func(i, j int) bool { return betterRow(oracle[i], oracle[j]) })
+		if len(oracle) > k {
+			oracle = oracle[:k]
+		}
+		diffRows(t, fmt.Sprintf("trial %d (n=%d k=%d)", trial, n, k), tk.Best(), oracle)
+	}
+}
+
+func TestTopKRejectsBadK(t *testing.T) {
+	if _, err := NewTopK(0); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	if _, err := NewTopK(-3); err == nil {
+		t.Fatal("k=-3 accepted")
+	}
+}
+
+// TestMarginalsOracle checks the online accumulators against a
+// materialized group-by over the same rows.
+func TestMarginalsOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	rows := randomGrid(rng, 400)
+	m := NewMarginals()
+	for _, r := range rows {
+		if err := m.Emit(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Materialized oracle: group rows by each axis, compute the stats
+	// from the full slices.
+	groupBy := func(key func(Row) string) map[string][]Row {
+		g := make(map[string][]Row)
+		for _, r := range rows {
+			k := key(r)
+			g[k] = append(g[k], r)
+		}
+		return g
+	}
+	oracles := map[string]map[string][]Row{
+		"evo": groupBy(func(r Row) string { return r.Evo }),
+		"H":   groupBy(func(r Row) string { return fmt.Sprint(r.H) }),
+		"SL":  groupBy(func(r Row) string { return fmt.Sprint(r.SL) }),
+		"B":   groupBy(func(r Row) string { return fmt.Sprint(r.B) }),
+		"TP":  groupBy(func(r Row) string { return fmt.Sprint(r.TP) }),
+	}
+
+	axes := m.Axes()
+	if len(axes) != 5 {
+		t.Fatalf("got %d axes, want 5", len(axes))
+	}
+	order := []string{"evo", "H", "SL", "B", "TP"}
+	for i, ax := range axes {
+		if ax.Axis != order[i] {
+			t.Fatalf("axis %d = %q, want %q", i, ax.Axis, order[i])
+		}
+		oracle := oracles[ax.Axis]
+		if len(ax.Values) != len(oracle) {
+			t.Fatalf("axis %s: %d values, oracle has %d groups", ax.Axis, len(ax.Values), len(oracle))
+		}
+		if !sort.SliceIsSorted(ax.Values, func(i, j int) bool {
+			// Int axes sort numerically; evo sorts lexically. Either way the
+			// rendered order must be deterministic and monotonic.
+			if ax.Axis == "evo" {
+				return ax.Values[i].Value < ax.Values[j].Value
+			}
+			return atoiMust(t, ax.Values[i].Value) < atoiMust(t, ax.Values[j].Value)
+		}) {
+			t.Fatalf("axis %s values not sorted: %+v", ax.Axis, ax.Values)
+		}
+		for _, v := range ax.Values {
+			group, ok := oracle[v.Value]
+			if !ok {
+				t.Fatalf("axis %s: unexpected value %q", ax.Axis, v.Value)
+			}
+			if v.Count != int64(len(group)) {
+				t.Fatalf("axis %s value %s: count %d, oracle %d", ax.Axis, v.Value, v.Count, len(group))
+			}
+			var sumComm, sumIter float64
+			minComm, maxComm := math.Inf(1), math.Inf(-1)
+			for _, r := range group {
+				sumComm += r.CommFrac
+				sumIter += float64(r.IterTime)
+				minComm = math.Min(minComm, r.CommFrac)
+				maxComm = math.Max(maxComm, r.CommFrac)
+			}
+			wantMean := sumComm / float64(len(group))
+			if math.Abs(v.MeanCommFrac-wantMean) > 1e-12 {
+				t.Fatalf("axis %s value %s: mean comm %g, oracle %g", ax.Axis, v.Value, v.MeanCommFrac, wantMean)
+			}
+			if math.Abs(v.MinCommFrac-minComm) > 0 || math.Abs(v.MaxCommFrac-maxComm) > 0 {
+				t.Fatalf("axis %s value %s: min/max %g/%g, oracle %g/%g",
+					ax.Axis, v.Value, v.MinCommFrac, v.MaxCommFrac, minComm, maxComm)
+			}
+			wantIter := sumIter / float64(len(group))
+			if math.Abs(float64(v.MeanIterTime)-wantIter) > 1e-12 {
+				t.Fatalf("axis %s value %s: mean iter %g, oracle %g", ax.Axis, v.Value, float64(v.MeanIterTime), wantIter)
+			}
+		}
+	}
+}
+
+func atoiMust(t *testing.T, s string) int {
+	t.Helper()
+	var n int
+	if _, err := fmt.Sscanf(s, "%d", &n); err != nil {
+		t.Fatalf("non-numeric axis value %q", s)
+	}
+	return n
+}
+
+// TestMarginalsSpread: a synthetic grid where TP alone moves the comm
+// fraction must rank TP's spread above an axis that does not move it.
+func TestMarginalsSpread(t *testing.T) {
+	m := NewMarginals()
+	i := int64(0)
+	for _, tp := range []int{8, 64} {
+		for _, h := range []int{1024, 4096} {
+			cf := 0.2
+			if tp == 64 {
+				cf = 0.8
+			}
+			err := m.Emit(Row{Index: i, Evo: "base", H: h, SL: 2048, B: 1, TP: tp,
+				IterTime: 0.01, CommFrac: cf, MemBytes: 1e9})
+			if err != nil {
+				t.Fatal(err)
+			}
+			i++
+		}
+	}
+	var tpSpread, hSpread float64
+	for _, ax := range m.Axes() {
+		switch ax.Axis {
+		case "TP":
+			tpSpread = ax.Spread()
+		case "H":
+			hSpread = ax.Spread()
+		}
+	}
+	if tpSpread < 0.59 || tpSpread > 0.61 {
+		t.Fatalf("TP spread = %g, want 0.6", tpSpread)
+	}
+	if hSpread > 1e-12 {
+		t.Fatalf("H spread = %g, want 0", hSpread)
+	}
+}
+
+// TestReducersBoundedMemory: reducers attached to a long stream retain
+// O(K + frontier + axis-values) rows, not O(n).
+func TestReducersBoundedMemory(t *testing.T) {
+	rng := rand.New(rand.NewSource(97))
+	tk, err := NewTopK(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewPareto()
+	m := NewMarginals()
+	sink := Multi(p, tk, m)
+	const n = 20000
+	for _, r := range randomGrid(rng, n) {
+		if err := sink.Emit(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(tk.heap) != 10 {
+		t.Fatalf("top-k retained %d rows", len(tk.heap))
+	}
+	// The quantized objective space has at most 8*10*6 distinct vectors;
+	// the frontier is far smaller than the stream.
+	if p.Size() > 480 {
+		t.Fatalf("frontier retained %d rows from a %d-row stream", p.Size(), n)
+	}
+}
+
+func BenchmarkParetoEmit(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	rows := randomGrid(rng, 4096)
+	p := NewPareto()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := p.Emit(rows[i%len(rows)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTopKEmit(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	rows := randomGrid(rng, 4096)
+	tk, err := NewTopK(32)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := tk.Emit(rows[i%len(rows)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

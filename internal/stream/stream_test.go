@@ -1,0 +1,235 @@
+package stream
+
+import (
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"io"
+	"math"
+	"strings"
+	"testing"
+
+	"twocs/internal/units"
+)
+
+func sampleRows() []Row {
+	return []Row{
+		{Index: 0, Evo: "1x", FlopVsBW: 1, H: 1024, SL: 1024, B: 1, TP: 4,
+			IterTime: 0.012, CommFrac: 0.25, MemBytes: 1 << 30},
+		{Index: 1, Evo: `4x "flop,vs\bw"`, FlopVsBW: 4, H: 65536, SL: 8192, B: 4, TP: 256,
+			IterTime: 1.5, CommFrac: 0.75, MemBytes: 12e9},
+		{Index: 2, Evo: "2x", FlopVsBW: 2, H: 2048, SL: 2048, B: 1, TP: 8,
+			IterTime: 0.034, CommFrac: 0.5, MemBytes: 2.5e9},
+	}
+}
+
+func TestNDJSONRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewNDJSON(&buf)
+	rows := sampleRows()
+	for _, r := range rows {
+		if err := s.Emit(r); err != nil {
+			t.Fatalf("Emit: %v", err)
+		}
+	}
+	if err := s.Close(Trailer{Rows: 3, Total: 3, Complete: true}); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	lines := strings.Split(strings.TrimSuffix(buf.String(), "\n"), "\n")
+	if len(lines) != len(rows)+1 {
+		t.Fatalf("got %d lines, want %d rows + trailer", len(lines), len(rows))
+	}
+	for i, r := range rows {
+		var got map[string]any
+		if err := json.Unmarshal([]byte(lines[i]), &got); err != nil {
+			t.Fatalf("line %d is not valid JSON: %v\n%s", i, err, lines[i])
+		}
+		if got["evo"] != r.Evo {
+			t.Errorf("line %d: evo = %q, want %q", i, got["evo"], r.Evo)
+		}
+		if got["h"].(float64) != float64(r.H) || got["tp"].(float64) != float64(r.TP) {
+			t.Errorf("line %d: coordinates diverged: %v", i, got)
+		}
+		if math.Abs(got["iter_s"].(float64)-float64(r.IterTime)) > 0 {
+			t.Errorf("line %d: iter_s = %v, want %v", i, got["iter_s"], r.IterTime)
+		}
+	}
+	var trailer map[string]any
+	if err := json.Unmarshal([]byte(lines[len(lines)-1]), &trailer); err != nil {
+		t.Fatalf("trailer is not valid JSON: %v", err)
+	}
+	if trailer["trailer"] != true || trailer["complete"] != true || trailer["rows"].(float64) != 3 {
+		t.Fatalf("bad trailer: %v", trailer)
+	}
+}
+
+// TestNDJSONPartialTrailer: an aborted stream still ends with a
+// well-formed trailer saying so.
+func TestNDJSONPartialTrailer(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewNDJSON(&buf)
+	if err := s.Emit(sampleRows()[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(Trailer{Rows: 1, Total: 1_000_000, Complete: false, Reason: "canceled"}); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSuffix(buf.String(), "\n"), "\n")
+	var trailer map[string]any
+	if err := json.Unmarshal([]byte(lines[len(lines)-1]), &trailer); err != nil {
+		t.Fatalf("trailer not valid JSON: %v", err)
+	}
+	if trailer["complete"] != false || trailer["reason"] != "canceled" ||
+		trailer["total"].(float64) != 1_000_000 {
+		t.Fatalf("bad partial trailer: %v", trailer)
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewCSV(&buf)
+	rows := sampleRows()
+	for _, r := range rows {
+		if err := s.Emit(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(Trailer{Rows: 3, Total: 3, Complete: true}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasSuffix(out, "#trailer rows=3 total=3 complete=true\n") {
+		t.Fatalf("missing trailer line:\n%s", out)
+	}
+	body := strings.TrimSuffix(out, "#trailer rows=3 total=3 complete=true\n")
+	rd := csv.NewReader(strings.NewReader(body))
+	recs, err := rd.ReadAll()
+	if err != nil {
+		t.Fatalf("CSV does not parse: %v", err)
+	}
+	if len(recs) != len(rows)+1 {
+		t.Fatalf("got %d records, want header + %d rows", len(recs), len(rows))
+	}
+	if strings.Join(recs[0], ",")+"\n" != csvHeader {
+		t.Fatalf("header = %v", recs[0])
+	}
+	// The quoted evo value with comma, quote and backslash survives.
+	if recs[2][1] != rows[1].Evo {
+		t.Fatalf("evo round-trip: %q != %q", recs[2][1], rows[1].Evo)
+	}
+}
+
+// TestCSVEmptyStream: header and trailer appear even with zero rows.
+func TestCSVEmptyStream(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewCSV(&buf)
+	if err := s.Close(Trailer{Rows: 0, Total: 10, Complete: false, Reason: "canceled"}); err != nil {
+		t.Fatal(err)
+	}
+	want := csvHeader + "#trailer rows=0 total=10 complete=false reason=canceled\n"
+	if buf.String() != want {
+		t.Fatalf("got:\n%s\nwant:\n%s", buf.String(), want)
+	}
+}
+
+func TestMultiFanOut(t *testing.T) {
+	var a, b Discard
+	var buf bytes.Buffer
+	m := Multi(&a, NewNDJSON(&buf), &b)
+	for _, r := range sampleRows() {
+		if err := m.Emit(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := m.Close(Trailer{Rows: 3, Total: 3, Complete: true}); err != nil {
+		t.Fatal(err)
+	}
+	if a.Rows != 3 || b.Rows != 3 {
+		t.Fatalf("fan-out lost rows: %d, %d", a.Rows, b.Rows)
+	}
+	if got := strings.Count(buf.String(), "\n"); got != 4 {
+		t.Fatalf("NDJSON leg wrote %d lines, want 4", got)
+	}
+}
+
+// TestEmitAllocFree pins the serialization hot path: steady-state Emit
+// on both writers performs zero allocations, the property that makes
+// peak RSS independent of grid size.
+func TestEmitAllocFree(t *testing.T) {
+	r := sampleRows()[0]
+	nd := NewNDJSON(io.Discard)
+	cs := NewCSV(io.Discard)
+	// Warm up: first emits size the scratch buffers (and CSV header).
+	for i := 0; i < 4; i++ {
+		if err := nd.Emit(r); err != nil {
+			t.Fatal(err)
+		}
+		if err := cs.Emit(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if avg := testing.AllocsPerRun(200, func() {
+		if err := nd.Emit(r); err != nil {
+			t.Fatal(err)
+		}
+	}); avg > 0 {
+		t.Errorf("NDJSON.Emit allocates %.1f objects/row, want 0", avg)
+	}
+	if avg := testing.AllocsPerRun(200, func() {
+		if err := cs.Emit(r); err != nil {
+			t.Fatal(err)
+		}
+	}); avg > 0 {
+		t.Errorf("CSV.Emit allocates %.1f objects/row, want 0", avg)
+	}
+}
+
+func TestDiscardTrailerMismatch(t *testing.T) {
+	var d Discard
+	if err := d.Emit(Row{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(Trailer{Rows: 2, Total: 2, Complete: true}); err == nil {
+		t.Fatal("trailer/row-count mismatch not detected")
+	}
+}
+
+// BenchmarkNDJSONEmit is the per-row serialization cost of the
+// streaming sweep's default sink.
+func BenchmarkNDJSONEmit(b *testing.B) {
+	r := sampleRows()[0]
+	s := NewNDJSON(io.Discard)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.Emit(r); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+var _ = units.Seconds(0) // keep the units import with the sample rows
+
+// benchSink keeps the calibration spin loop from being optimized away.
+var benchSink uint64
+
+// BenchmarkCalibrationSpin is NOT a perf contract: it is a fixed
+// CPU-bound workload (a 4096-step xorshift loop) whose ns/op tracks the
+// current speed of the machine running it. scripts/bench_gate.sh
+// divides the fresh number by the one recorded alongside the baselines
+// to cancel machine drift — frequency scaling, noisy neighbors — before
+// applying the regression tolerance to the gated benchmarks, which are
+// all CPU-bound like this one.
+func BenchmarkCalibrationSpin(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		acc := uint64(0x9e3779b97f4a7c15)
+		for j := 0; j < 4096; j++ {
+			acc ^= acc << 13
+			acc ^= acc >> 7
+			acc ^= acc << 17
+			acc += uint64(j)
+		}
+		benchSink += acc
+	}
+}

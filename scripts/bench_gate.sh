@@ -1,0 +1,115 @@
+#!/bin/sh
+# bench_gate.sh — the CI perf-regression gate. Re-runs the
+# compiled-schedule and streaming-sweep benchmark sets and compares the
+# fresh best-of-N numbers against the committed baselines:
+#
+#   - ns/op more than BENCH_TOLERANCE percent (default 10) above the
+#     machine-normalized baseline fails the gate — provided the
+#     absolute regression also clears BENCH_NS_FLOOR nanoseconds
+#     (default 100), so sub-100ns timer jitter on nanosecond-scale
+#     benchmarks cannot flake it;
+#   - ANY allocs/op increase fails the gate — the zero-alloc re-time
+#     path and the alloc-free sink Emits are exact contracts, not
+#     statistical ones;
+#   - a benchmark present in the baseline but missing from the fresh
+#     run fails the gate (a silently deleted benchmark is a silently
+#     dropped contract).
+#
+# Machine normalization: both gated sets record BenchmarkCalibrationSpin
+# — a fixed CPU-bound workload that is not itself a contract. The gate
+# scales each baseline by (fresh spin ns / recorded spin ns), clamped to
+# [0.5, 2], before applying the tolerance, so frequency scaling and
+# noisy neighbors between the baseline run and the gate run cancel out
+# while genuine code regressions do not.
+#
+# New benchmarks (in the fresh run, not the baseline) pass with a note:
+# commit the refreshed baseline to start tracking them. The sweep set
+# (BENCH_sweep.json) is intentionally not gated — its grid benchmarks
+# are the noisiest and the telemetry contract they guard has its own
+# determinism gate.
+#
+# Usage: scripts/bench_gate.sh
+# Environment: BENCH_TOLERANCE (percent, default 10), BENCH_NS_FLOOR
+# (nanoseconds, default 100), BENCH_COUNT (default 8 here: the gate
+# takes the best of N repetitions, and more repetitions pull the best
+# closer to the machine's true floor before comparing).
+set -eu
+
+tol="${BENCH_TOLERANCE:-10}"
+floor="${BENCH_NS_FLOOR:-100}"
+export BENCH_COUNT="${BENCH_COUNT:-8}"
+cd "$(dirname "$0")/.."
+. scripts/bench_lib.sh
+
+for f in BENCH_sim.json BENCH_stream.json; do
+    [ -f "$f" ] || { echo "bench_gate: missing baseline $f" >&2; exit 1; }
+done
+
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+scripts/bench_sweep.sh "$tmp/sweep.json" "$tmp/sim.json" "$tmp/stream.json"
+
+gate() {
+    base="$1"
+    fresh="$2"
+    bench_rows "$base" > "$tmp/base.rows"
+    bench_rows "$fresh" > "$tmp/fresh.rows"
+    awk -v tol="$tol" -v floor="$floor" -v set="$base" '
+NR == FNR { baseNs[$1] = $2; baseAllocs[$1] = $4; next }
+{
+    if (!($1 in freshNs)) names[n++] = $1
+    freshNs[$1] = $2
+    freshAllocs[$1] = $4
+}
+END {
+    cal = "BenchmarkCalibrationSpin"
+    scale = 1
+    if ((cal in baseNs) && (cal in freshNs) && baseNs[cal] > 0) {
+        scale = freshNs[cal] / baseNs[cal]
+        if (scale < 0.5) scale = 0.5
+        if (scale > 2) scale = 2
+        printf "info %s: machine scale %.2f (calibration spin %d -> %d ns/op)\n",
+            set, scale, baseNs[cal], freshNs[cal]
+    } else {
+        printf "info %s: no calibration spin in both runs; machine scale 1.00\n", set
+    }
+    for (i = 0; i < n; i++) {
+        name = names[i]
+        if (name == cal) continue
+        if (!(name in baseNs)) {
+            printf "note %s: %s is new (not in baseline); commit a refreshed baseline to track it\n", set, name
+            continue
+        }
+        adjusted = baseNs[name] * scale
+        limit = adjusted * (1 + tol / 100)
+        if (limit < adjusted + floor) limit = adjusted + floor
+        if (freshNs[name] > limit) {
+            printf "FAIL %s: %s ns/op %d exceeds normalized baseline %d by more than %d%%\n",
+                set, name, freshNs[name], adjusted, tol
+            bad = 1
+        } else {
+            printf "ok   %s: %s ns/op %d (normalized baseline %d)\n", set, name, freshNs[name], adjusted
+        }
+        if (freshAllocs[name] > baseAllocs[name]) {
+            printf "FAIL %s: %s allocs/op rose %d -> %d\n", set, name, baseAllocs[name], freshAllocs[name]
+            bad = 1
+        }
+    }
+    for (name in baseNs) {
+        if (!(name in freshNs)) {
+            printf "FAIL %s: %s is in the baseline but missing from the fresh run\n", set, name
+            bad = 1
+        }
+    }
+    exit bad ? 1 : 0
+}' "$tmp/base.rows" "$tmp/fresh.rows"
+}
+
+status=0
+gate BENCH_sim.json "$tmp/sim.json" || status=1
+gate BENCH_stream.json "$tmp/stream.json" || status=1
+if [ "$status" -ne 0 ]; then
+    echo "bench_gate: perf regression against committed baselines (tolerance ${tol}%)" >&2
+fi
+exit "$status"

@@ -1,0 +1,53 @@
+# bench_lib.sh — shared helpers for the bench scripts. POSIX sh + awk
+# only; source with `. scripts/bench_lib.sh`.
+
+# emit_json RAW OUT COUNT — parse `go test -bench` output lines
+# (`BenchmarkName-P  N  ns/op  B/op  allocs/op`) into the repo's
+# baseline JSON, keeping the best (minimum) ns/op across repetitions,
+# as benchstat's central tendency would.
+emit_json() {
+    awk -v count="$3" '
+/^Benchmark/ && NF >= 7 {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    ns = $3 + 0
+    bytes = $5 + 0
+    allocs = $7 + 0
+    if (!(name in best) || ns < best[name]) {
+        best[name] = ns
+        bestBytes[name] = bytes
+        bestAllocs[name] = allocs
+    }
+    if (!(name in seen)) { order[n++] = name; seen[name] = 1 }
+}
+END {
+    printf "{\n  \"unit\": {\"time\": \"ns/op\", \"mem\": \"B/op\", \"allocs\": \"allocs/op\"},\n"
+    printf "  \"count\": %d,\n  \"benchmarks\": [\n", count
+    for (i = 0; i < n; i++) {
+        name = order[i]
+        printf "    {\"name\": \"%s\", \"ns_per_op\": %d, \"bytes_per_op\": %d, \"allocs_per_op\": %d}%s\n",
+            name, best[name], bestBytes[name], bestAllocs[name], (i < n-1) ? "," : ""
+    }
+    printf "  ]\n}\n"
+}' "$1" > "$2"
+    echo "wrote $2" >&2
+}
+
+# bench_rows FILE — flatten a baseline JSON into `name ns bytes allocs`
+# lines for shell-side comparison and rendering.
+bench_rows() {
+    awk '
+/"name":/ {
+    line = $0
+    gsub(/[",{}]/, "", line)
+    n = split(line, parts, /[: ,]+/)
+    name = ""; ns = bytes = allocs = 0
+    for (i = 1; i <= n; i++) {
+        if (parts[i] == "name") name = parts[i+1]
+        if (parts[i] == "ns_per_op") ns = parts[i+1] + 0
+        if (parts[i] == "bytes_per_op") bytes = parts[i+1] + 0
+        if (parts[i] == "allocs_per_op") allocs = parts[i+1] + 0
+    }
+    if (name != "") printf "%s %d %d %d\n", name, ns, bytes, allocs
+}' "$1"
+}

@@ -2,7 +2,7 @@
 # bench_sweep.sh — run the perf-contract benchmarks and record the
 # baselines as machine-readable JSON at the repo root.
 #
-# Two contracts, two files:
+# Three contracts, three files:
 #
 #   BENCH_sweep.json — the sweep-engine set (root package). The recorded
 #     numbers are the telemetry layer's performance contract: with no
@@ -14,57 +14,47 @@
 #     plus the evolution-grid benchmark, which is the re-time path's
 #     end-to-end effect. Regressions show up as a diff in this file.
 #
-# Usage: scripts/bench_sweep.sh [sweep.json] [sim.json]
+#   BENCH_stream.json — the streaming-sweep set: per-row sink encoding
+#     (NDJSON), the online reducers (Pareto, top-K), the ordered chunk
+#     engine, and the arena re-time step that prices one grid point in
+#     zero allocations. These are the per-point costs that decide
+#     whether a 10⁶-10⁷ point search is practical.
+#
+# scripts/bench_gate.sh holds a fresh run to the committed sim and
+# stream baselines; scripts/bench_report.sh renders all three into
+# BENCHMARK.md.
+#
+# Usage: scripts/bench_sweep.sh [sweep.json] [sim.json] [stream.json]
 # Environment: BENCH_COUNT (default 3) -count passed to go test.
 set -eu
 
 sweep_out="${1:-BENCH_sweep.json}"
 sim_out="${2:-BENCH_sim.json}"
+stream_out="${3:-BENCH_stream.json}"
 count="${BENCH_COUNT:-3}"
 cd "$(dirname "$0")/.."
+. scripts/bench_lib.sh
 
 raw_sweep="$(mktemp)"
 raw_sim="$(mktemp)"
-trap 'rm -f "$raw_sweep" "$raw_sim"' EXIT
+raw_stream="$(mktemp)"
+trap 'rm -f "$raw_sweep" "$raw_sim" "$raw_stream"' EXIT
 
 go test -run '^$' -bench 'Sweep|EvolutionGrid' -benchmem -count="$count" . | tee "$raw_sweep" >&2
 go test -run '^$' -bench 'ProgramReTime|RunRebuild' -benchmem -count="$count" ./internal/sim | tee "$raw_sim" >&2
+go test -run '^$' -bench 'NDJSONEmit|ParetoEmit|TopKEmit|CalibrationSpin' -benchmem -count="$count" ./internal/stream | tee "$raw_stream" >&2
+go test -run '^$' -bench 'StreamCtx' -benchmem -count="$count" ./internal/parallel | tee -a "$raw_stream" >&2
+go test -run '^$' -bench 'ArenaReTime' -benchmem -count="$count" ./internal/dist | tee -a "$raw_stream" >&2
 
 # The grid benchmark belongs to both contracts: it is the sweep set's
 # heaviest member and the compiled-schedule layer's acceptance number.
 grep '^BenchmarkSerializedEvolutionGrid' "$raw_sweep" >> "$raw_sim"
 
-# Parse `BenchmarkName-P  N  ns/op  B/op  allocs/op` lines into JSON,
-# keeping the best (minimum) ns/op across repetitions, as benchstat's
-# central tendency would. awk only — no dependencies beyond the Go
-# toolchain and POSIX sh.
-emit_json() {
-    awk -v count="$count" '
-/^Benchmark/ && NF >= 7 {
-    name = $1
-    sub(/-[0-9]+$/, "", name)
-    ns = $3 + 0
-    bytes = $5 + 0
-    allocs = $7 + 0
-    if (!(name in best) || ns < best[name]) {
-        best[name] = ns
-        bestBytes[name] = bytes
-        bestAllocs[name] = allocs
-    }
-    if (!(name in seen)) { order[n++] = name; seen[name] = 1 }
-}
-END {
-    printf "{\n  \"unit\": {\"time\": \"ns/op\", \"mem\": \"B/op\", \"allocs\": \"allocs/op\"},\n"
-    printf "  \"count\": %d,\n  \"benchmarks\": [\n", count
-    for (i = 0; i < n; i++) {
-        name = order[i]
-        printf "    {\"name\": \"%s\", \"ns_per_op\": %d, \"bytes_per_op\": %d, \"allocs_per_op\": %d}%s\n",
-            name, best[name], bestBytes[name], bestAllocs[name], (i < n-1) ? "," : ""
-    }
-    printf "  ]\n}\n"
-}' "$1" > "$2"
-    echo "wrote $2" >&2
-}
+# The calibration spin (a fixed CPU workload, not a contract) is
+# recorded into both gated sets so bench_gate.sh can normalize each for
+# machine-speed drift between the baseline run and the gate run.
+grep '^BenchmarkCalibrationSpin' "$raw_stream" >> "$raw_sim"
 
-emit_json "$raw_sweep" "$sweep_out"
-emit_json "$raw_sim" "$sim_out"
+emit_json "$raw_sweep" "$sweep_out" "$count"
+emit_json "$raw_sim" "$sim_out" "$count"
+emit_json "$raw_stream" "$stream_out" "$count"

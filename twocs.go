@@ -25,6 +25,7 @@ import (
 	"twocs/internal/hw"
 	"twocs/internal/model"
 	"twocs/internal/opmodel"
+	"twocs/internal/stream"
 )
 
 // Core analysis types.
@@ -56,6 +57,47 @@ type (
 	// AlgRow is one Figure 7 algorithmic-scaling row.
 	AlgRow = core.AlgRow
 )
+
+// Streaming sweep types. Analyzer.StreamSweepCtx and
+// Analyzer.StreamEvolutionGridCtx push one Row per grid point, in grid
+// order at any worker count, into a Sink — peak memory stays bounded at
+// any grid size, which is what makes 10⁶-10⁷-point design-space
+// searches practical. See the stream package docs for the ordering and
+// trailer contracts.
+type (
+	// Row is one streamed grid point: coordinates plus the three
+	// search objectives (iteration time, comm fraction, memory).
+	Row = stream.Row
+	// Trailer summarizes a finished (or interrupted) stream.
+	Trailer = stream.Trailer
+	// Sink consumes rows; NewNDJSON, NewCSV, NewTopK, NewPareto, and
+	// NewMarginals are the provided implementations.
+	Sink = stream.Sink
+	// TopK keeps the K best rows by iteration time.
+	TopK = stream.TopK
+	// Pareto keeps the (iter time, comm fraction, memory) frontier.
+	Pareto = stream.Pareto
+	// Marginals keeps per-axis comm-fraction aggregates.
+	Marginals = stream.Marginals
+)
+
+// NewNDJSON streams rows as newline-delimited JSON.
+func NewNDJSON(w io.Writer) Sink { return stream.NewNDJSON(w) }
+
+// NewCSV streams rows as RFC-4180 CSV with a comment trailer.
+func NewCSV(w io.Writer) Sink { return stream.NewCSV(w) }
+
+// NewTopK keeps the k fastest configurations seen.
+func NewTopK(k int) (*TopK, error) { return stream.NewTopK(k) }
+
+// NewPareto keeps the 3-objective Pareto frontier.
+func NewPareto() *Pareto { return stream.NewPareto() }
+
+// NewMarginals aggregates comm fraction per axis value.
+func NewMarginals() *Marginals { return stream.NewMarginals() }
+
+// MultiSink fans each row out to every sink in order.
+func MultiSink(sinks ...Sink) Sink { return stream.Multi(sinks...) }
 
 // NewAnalyzer builds the paper's standard setup: a BERT baseline profiled
 // at TP=4 on a 4×MI210 node (§4.3.1).

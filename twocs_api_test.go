@@ -3,6 +3,9 @@
 package twocs_test
 
 import (
+	"bytes"
+	"context"
+	"strings"
 	"testing"
 
 	"twocs"
@@ -144,5 +147,33 @@ func TestFacadeExtensions(t *testing.T) {
 func TestFacadeCaseStudyScenarios(t *testing.T) {
 	if len(twocs.Fig14Scenarios()) != 3 {
 		t.Error("want 3 Fig14 scenarios")
+	}
+}
+
+func TestFacadeStreaming(t *testing.T) {
+	a := sharedFacadeAnalyzer(t)
+	var buf bytes.Buffer
+	top, err := twocs.NewTopK(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pareto := twocs.NewPareto()
+	marg := twocs.NewMarginals()
+	sink := twocs.MultiSink(twocs.NewNDJSON(&buf), top, pareto, marg)
+	err = a.StreamSweepCtx(context.Background(),
+		[]int{1024, 4096}, []int{1024, 2048}, []int{4, 16}, 1, twocs.FlopVsBW(4), sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 8+1 {
+		t.Fatalf("streamed %d lines, want 8 rows + trailer", len(lines))
+	}
+	if !strings.Contains(lines[len(lines)-1], `"trailer":true`) ||
+		!strings.Contains(lines[len(lines)-1], `"complete":true`) {
+		t.Fatalf("bad trailer line: %s", lines[len(lines)-1])
+	}
+	if len(top.Best()) != 3 || pareto.Size() == 0 || len(marg.Axes()) == 0 {
+		t.Fatal("reducers saw no rows")
 	}
 }
