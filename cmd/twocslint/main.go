@@ -6,8 +6,20 @@
 //	unitcheck  dimensional safety of the internal/units algebra
 //	floatcmp   no ==/!= on float64-backed values outside approved helpers
 //	detrange   no map-ordered iteration feeding deterministic output
-//	lockcheck  '// guarded by <mu>' fields accessed only under the lock
+//	lockcheck  '// guarded by <mu>' fields accessed only under the lock,
+//	           interprocedurally through same-receiver helper methods
 //	sweeppure  no mutation of captured state in parallel.Map closures
+//	simscratch no retention of simulator scratch state across runs
+//	hotalloc   //lint:hotpath functions and everything they transitively
+//	           call are provably allocation-free in steady state
+//	ctxflow    context.Context threads through library call chains; no
+//	           context.Background()/TODO() outside main and facades
+//	sinkclose  stream.Sink, os.File and pprof acquisitions are released
+//	           on every path
+//
+// The last four are interprocedural: they share one module-wide call
+// graph with per-function summaries (internal/lint/flow) built from the
+// same go/types data.
 //
 // Usage:
 //
@@ -17,11 +29,19 @@
 // walk the whole tree (the default). Exit status: 0 clean, 1 findings,
 // 2 load or usage failure.
 //
-// Suppress a deliberate violation inline, with a reason:
+// Annotation vocabulary (all in doc comments):
 //
+//	//lint:hotpath
+//	    declares a function steady-state allocation-free; hotalloc
+//	    proves the claim over its whole transitive call closure, and
+//	    the allocs/op==0 benchmarks cross-check it dynamically.
+//	//lint:ctxfacade <reason>
+//	    allowlists a deliberate non-context compatibility entry point;
+//	    ctxflow requires the reason and stops severance propagation at
+//	    the facade.
 //	//lint:ignore <analyzer> <why this is safe>
-//
-// on the offending line or the line above it.
+//	    suppresses one finding, on the offending line, the line above
+//	    it, or the head line of the innermost enclosing statement.
 package main
 
 import (

@@ -101,6 +101,11 @@ func (p NetPath) Validate() error {
 	return nil
 }
 
+// idealProtocol is the fallback for paths that declare no protocols:
+// full bandwidth efficiency, no protocol latency. Package-level so the
+// hot transfer path does not allocate the fallback per call.
+var idealProtocol = []Protocol{{Eff: 1}}
+
 // transfer returns the time to move `bytes` over the path in one message,
 // under the fastest applicable protocol.
 func (p NetPath) transfer(bytes float64) units.Seconds {
@@ -109,7 +114,7 @@ func (p NetPath) transfer(bytes float64) units.Seconds {
 	}
 	protos := p.Protocols
 	if len(protos) == 0 {
-		protos = []Protocol{{Eff: 1}}
+		protos = idealProtocol
 	}
 	ramp := p.Ramp.Eval(bytes)
 	best := math.Inf(1)

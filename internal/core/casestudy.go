@@ -56,6 +56,8 @@ type CaseResult struct {
 // the optimistic intra-node path (consistent with the Figure 10-13
 // projections); scenarios degrade only the DP path and add interference,
 // exactly the §4.3.7 progression.
+//
+//lint:ctxfacade non-Ctx compat shim; CaseStudyCtx is the cancelable variant
 func (a *Analyzer) CaseStudy(cfg model.Config, tp, dp int, evo hw.Evolution,
 	scenarios []CaseScenario) ([]CaseResult, error) {
 	return a.CaseStudyCtx(context.Background(), cfg, tp, dp, evo, scenarios)

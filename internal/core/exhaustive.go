@@ -21,6 +21,8 @@ import (
 // (H × SL × TP) sweep configuration at fixed B. layersFor maps hidden
 // size to a representative depth (real models deepen as they widen,
 // Table 2); nil charges each configuration at its own layer count.
+//
+//lint:ctxfacade non-Ctx compat shim; ExhaustiveCostStudyCtx is the cancelable variant
 func (a *Analyzer) ExhaustiveCostStudy(hs, sls, tps []int, b int, layersFor func(h int) int) (*profile.Ledger, error) {
 	return a.ExhaustiveCostStudyCtx(context.Background(), hs, sls, tps, b, layersFor)
 }

@@ -34,6 +34,8 @@ type ScalingRow struct {
 // increasing device count"). Feasible splits are simulated concurrently
 // under Analyzer.Workers, sharing the memoized substrate, and returned
 // in ascending-TP order.
+//
+//lint:ctxfacade non-Ctx compat shim; ScalingStudyCtx is the cancelable variant
 func (a *Analyzer) ScalingStudy(cfg model.Config, devices int, tps []int, evo hw.Evolution) ([]ScalingRow, error) {
 	return a.ScalingStudyCtx(context.Background(), cfg, devices, tps, evo)
 }

@@ -98,6 +98,8 @@ type SerializedPoint struct {
 // order. On failure the partial grid is discarded and the error the
 // sequential loop would have hit is returned; SerializedSweepCtx is the
 // best-effort, cancelable variant.
+//
+//lint:ctxfacade non-Ctx compat shim; SerializedSweepCtx is the cancelable variant
 func (a *Analyzer) SerializedSweep(hs, sls, tps []int, b int, evo hw.Evolution) ([]SerializedPoint, error) {
 	out, err := a.SerializedSweepCtx(context.Background(), hs, sls, tps, b, evo)
 	if err != nil {
@@ -155,6 +157,8 @@ func (a *Analyzer) SerializedSweepCtx(ctx context.Context, hs, sls, tps []int, b
 // timer stack per scenario and one operator graph per configuration
 // shape across the whole (evolution × H × SL × TP) space. Results are
 // ordered scenario-major, each scenario's points in grid order.
+//
+//lint:ctxfacade non-Ctx compat shim; SerializedEvolutionGridCtx is the cancelable variant
 func (a *Analyzer) SerializedEvolutionGrid(hs, sls, tps []int, b int, evos []hw.Evolution) ([][]SerializedPoint, error) {
 	return a.SerializedEvolutionGridCtx(context.Background(), hs, sls, tps, b, evos)
 }
@@ -232,6 +236,8 @@ func enumerateOverlapped(hs, slbs []int, tp int) ([]serializedTask, error) {
 // Analyzer.Workers; the ledger totals are order-independent, and the
 // returned points are in grid order. OverlappedSweepCtx is the
 // best-effort, cancelable variant.
+//
+//lint:ctxfacade non-Ctx compat shim; OverlappedSweepCtx is the cancelable variant
 func (a *Analyzer) OverlappedSweep(hs, slbs []int, tp int, evo hw.Evolution) ([]OverlappedPoint, error) {
 	out, err := a.OverlappedSweepCtx(context.Background(), hs, slbs, tp, evo)
 	if err != nil {
@@ -282,6 +288,8 @@ func (a *Analyzer) OverlappedSweepCtx(ctx context.Context, hs, slbs []int, tp in
 // sweep at every hardware-evolution scenario. Each scenario's ROIs
 // execute on its memoized substrate; results are ordered scenario-major,
 // each scenario's points in grid order.
+//
+//lint:ctxfacade non-Ctx compat shim; OverlappedEvolutionGridCtx is the cancelable variant
 func (a *Analyzer) OverlappedEvolutionGrid(hs, slbs []int, tp int, evos []hw.Evolution) ([][]OverlappedPoint, error) {
 	return a.OverlappedEvolutionGridCtx(context.Background(), hs, slbs, tp, evos)
 }

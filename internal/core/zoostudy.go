@@ -32,6 +32,8 @@ type ZooTimelineRow struct {
 // so each model is projected through its proportional stand-in from
 // FutureConfig, preserving H, SL, B and layer count. Models are
 // projected concurrently under Analyzer.Workers, in timeline order.
+//
+//lint:ctxfacade non-Ctx compat shim; ZooTimelineCtx is the cancelable variant
 func (a *Analyzer) ZooTimeline(entries []model.ZooEntry) ([]ZooTimelineRow, error) {
 	return a.ZooTimelineCtx(context.Background(), entries)
 }

@@ -29,6 +29,8 @@ type Arena struct {
 // the arena: Refill into the arena's duration buffer, RunReuse into the
 // arena's trace. The returned trace is arena-owned — read it before the
 // next ReTime on the same arena and do not retain it.
+//
+//lint:hotpath
 func (c *CompiledIteration) ReTime(timer *Timer, cfg sim.Config, a *Arena) (*sim.Trace, error) {
 	if a == nil {
 		return nil, fmt.Errorf("dist: nil arena")

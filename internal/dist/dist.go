@@ -93,19 +93,36 @@ func NewTimer(p Plan, calc *kernels.Calculator) (*Timer, error) {
 	return &Timer{Calc: calc, TPModel: tpModel, DPModel: dpModel, TP: p.TP, DP: p.DP}, nil
 }
 
+// opSimMetric maps each operator kind to its histogram name, indexed by
+// model.OpKind. Precomputing the names keeps the telemetry-enabled path
+// allocation-free too: the old "dist.op."+kind+".sim_ns" concatenation
+// allocated a fresh string per priced operator, millions of times per
+// instrumented sweep.
+var opSimMetric = [...]string{
+	model.GEMM:        "dist.op.gemm.sim_ns",
+	model.LayerNorm:   "dist.op.layernorm.sim_ns",
+	model.Softmax:     "dist.op.softmax.sim_ns",
+	model.Elementwise: "dist.op.elementwise.sim_ns",
+	model.TPAllReduce: "dist.op.tp-allreduce.sim_ns",
+	model.DPAllReduce: "dist.op.dp-allreduce.sim_ns",
+	model.FusedAttn:   "dist.op.fused-attention.sim_ns",
+}
+
 // Time returns the standalone duration of one operator. When a
 // telemetry collector is active, every priced operator feeds a
 // per-kind histogram of simulated nanoseconds (deterministic: the
-// durations are model outputs, not host measurements); the name is
-// only built when a collector is installed, so the disabled path stays
-// allocation-free.
+// durations are model outputs, not host measurements).
 func (t *Timer) Time(op model.OpDesc) (units.Seconds, error) {
 	d, err := t.timeOp(op)
 	if err != nil {
 		return 0, err
 	}
 	if tel := telemetry.Active(); tel != nil {
-		tel.Observe("dist.op."+op.Kind.String()+".sim_ns", telemetry.SimNanos(float64(d)))
+		name := "dist.op.unknown.sim_ns"
+		if int(op.Kind) < len(opSimMetric) && opSimMetric[op.Kind] != "" {
+			name = opSimMetric[op.Kind]
+		}
+		tel.Observe(name, telemetry.SimNanos(float64(d)))
 	}
 	return d, nil
 }

@@ -1,0 +1,106 @@
+package flow
+
+import (
+	"go/types"
+	"strings"
+)
+
+// ExtClass is the allocation verdict for a call whose callee has no
+// body in the analyzed set.
+type ExtClass int
+
+const (
+	// ExtSafe: known not to allocate on the success path.
+	ExtSafe ExtClass = iota
+	// ExtAlloc: known to allocate.
+	ExtAlloc
+	// ExtUnknown: no entry in the tables. Hotalloc treats unknown as a
+	// finding ("not proven allocation-free") — the strict default that
+	// keeps the static proof honest; extend the tables rather than
+	// suppressing.
+	ExtUnknown
+)
+
+// Classify looks up an external callee in the allocation tables, keyed
+// by defining package path and function/method name. Methods classify
+// under their package (e.g. (*bufio.Writer).Write under "bufio").
+func Classify(obj *types.Func) ExtClass {
+	if obj == nil || obj.Pkg() == nil {
+		return ExtUnknown
+	}
+	path, name := obj.Pkg().Path(), obj.Name()
+	switch path {
+	case "fmt":
+		// Every fmt entry point boxes its operands into ...any; the
+		// ISSUE names fmt.* an allocating construct outright.
+		return ExtAlloc
+	case "errors":
+		if name == "Is" || name == "As" || name == "Unwrap" {
+			return ExtSafe
+		}
+		return ExtAlloc
+	case "sort":
+		// The Search family and the IsSorted predicates walk in place;
+		// Sort/Slice/Stable box or build reflect-backed swappers.
+		if strings.HasPrefix(name, "Search") || strings.Contains(name, "IsSorted") {
+			return ExtSafe
+		}
+		return ExtAlloc
+	case "strings", "bytes":
+		if stringsSafe[name] {
+			return ExtSafe
+		}
+		return ExtAlloc
+	case "strconv":
+		if strings.HasPrefix(name, "Append") || strings.HasPrefix(name, "Parse") ||
+			name == "Atoi" || name == "IsPrint" || name == "IsGraphic" || name == "CanBackquote" {
+			return ExtSafe
+		}
+		return ExtAlloc
+	case "slices":
+		if slicesAlloc[name] {
+			return ExtAlloc
+		}
+		return ExtSafe
+	case "maps":
+		if name == "Clone" || name == "Collect" {
+			return ExtAlloc
+		}
+		return ExtSafe
+	case "math", "math/bits", "math/rand/v2", "sync", "sync/atomic", "cmp", "unicode", "unicode/utf8":
+		return ExtSafe
+	case "time":
+		if name == "After" || name == "Tick" || strings.HasPrefix(name, "New") {
+			return ExtAlloc
+		}
+		return ExtSafe
+	case "bufio":
+		if strings.HasPrefix(name, "New") || name == "ReadString" || name == "ReadBytes" {
+			return ExtAlloc
+		}
+		return ExtSafe
+	}
+	return ExtUnknown
+}
+
+// stringsSafe lists the strings/bytes functions (shared vocabulary)
+// that scan without building a result.
+var stringsSafe = map[string]bool{
+	"Compare": true, "Contains": true, "ContainsAny": true, "ContainsRune": true,
+	"ContainsFunc": true, "Count": true, "Equal": true, "EqualFold": true,
+	"HasPrefix": true, "HasSuffix": true,
+	"Index": true, "IndexAny": true, "IndexByte": true, "IndexFunc": true, "IndexRune": true,
+	"LastIndex": true, "LastIndexAny": true, "LastIndexByte": true, "LastIndexFunc": true,
+	"Trim": true, "TrimFunc": true, "TrimLeft": true, "TrimLeftFunc": true,
+	"TrimPrefix": true, "TrimRight": true, "TrimRightFunc": true, "TrimSpace": true,
+	"TrimSuffix": true, "Cut": true, "CutPrefix": true, "CutSuffix": true,
+	"Min": true,
+}
+
+// slicesAlloc lists the slices functions that build fresh backing
+// stores; the rest of the package operates in place.
+var slicesAlloc = map[string]bool{
+	"Clone": true, "Concat": true, "Insert": true,
+	"AppendSeq": true, "Collect": true, "Sorted": true, "SortedFunc": true,
+	"SortedStableFunc": true, "Repeat": true, "Grow": true,
+}

@@ -8,14 +8,23 @@
 // An Analyzer is a named pass over one type-checked package; the
 // cmd/twocslint driver runs the whole suite over every package in the
 // module and exits non-zero on any finding, so CI can gate on it.
+// Analyzers that set NeedsFlow additionally receive the interprocedural
+// call graph (internal/lint/flow), built once per run over the full
+// package set.
 //
 // False positives are suppressed inline:
 //
 //	//lint:ignore <analyzer>[,<analyzer>...] <reason>
 //
-// placed either on the flagged line or on the line immediately above
-// it. The analyzer list may be "all". A reason is mandatory; an ignore
-// directive without one is itself reported.
+// placed on the flagged line, on the line immediately above it, or —
+// when the diagnostic lands on a node enclosing the directive (a
+// detrange finding points at the `for` of a loop whose body holds the
+// directive) — anywhere inside the innermost enclosing statement. The
+// analyzer list may be "all". A reason is mandatory; an ignore
+// directive without one is itself reported. The index is built over
+// the whole package set, so a directive suppresses findings an
+// interprocedural analyzer reports into its file from another
+// package's pass.
 package lint
 
 import (
@@ -25,6 +34,8 @@ import (
 	"go/types"
 	"sort"
 	"strings"
+
+	"twocs/internal/lint/flow"
 )
 
 // Analyzer is one named static-analysis pass.
@@ -35,6 +46,8 @@ type Analyzer struct {
 	Doc string
 	// Run inspects one package and reports findings via pass.Report.
 	Run func(*Pass)
+	// NeedsFlow requests the interprocedural call graph on Pass.Flow.
+	NeedsFlow bool
 }
 
 // Diagnostic is one positioned finding.
@@ -60,7 +73,11 @@ type Pass struct {
 	Pkg     *types.Package
 	Info    *types.Info
 
-	ignores ignoreIndex
+	// Flow is the package-set call graph, non-nil only for analyzers
+	// with NeedsFlow set.
+	Flow *flow.Graph
+
+	ignores *ignoreIndex
 	sink    *[]Diagnostic
 }
 
@@ -92,55 +109,91 @@ func (p *Pass) InTestFile(pos token.Pos) bool {
 	return strings.HasSuffix(p.Fset.Position(pos).Filename, "_test.go")
 }
 
-// ignoreIndex maps filename -> line -> analyzer names suppressed there.
-// A directive on line N suppresses findings on lines N and N+1, so it
-// can sit on its own line above the flagged statement or trail it.
-type ignoreIndex map[string]map[int][]string
+// ignoreIndex records where //lint:ignore directives suppress findings.
+// Two granularities:
+//
+//   - lines: the directive's own line — suppresses findings on that
+//     line and the next, so a directive can sit above the flagged
+//     statement or trail it.
+//   - heads: the first line of the innermost enclosing non-block
+//     statement (or declaration) — suppresses findings on exactly that
+//     line. This is what lets a directive inside a loop body suppress a
+//     diagnostic reported at the loop keyword.
+type ignoreIndex struct {
+	lines map[string]map[int][]string
+	heads map[string]map[int][]string
+}
 
-func (ix ignoreIndex) suppressed(analyzer string, pos token.Position) bool {
-	lines := ix[pos.Filename]
-	for _, l := range []int{pos.Line, pos.Line - 1} {
-		for _, name := range lines[l] {
+func (ix *ignoreIndex) suppressed(analyzer string, pos token.Position) bool {
+	match := func(names []string) bool {
+		for _, name := range names {
 			if name == analyzer || name == "all" {
 				return true
 			}
 		}
+		return false
 	}
-	return false
+	byLine := ix.lines[pos.Filename]
+	if match(byLine[pos.Line]) || match(byLine[pos.Line-1]) {
+		return true
+	}
+	return match(ix.heads[pos.Filename][pos.Line])
+}
+
+func (ix *ignoreIndex) add(m map[string]map[int][]string, file string, line int, names []string) {
+	byFile := m[file]
+	if byFile == nil {
+		byFile = make(map[int][]string)
+		m[file] = byFile
+	}
+	byFile[line] = append(byFile[line], names...)
 }
 
 const ignorePrefix = "//lint:ignore"
 
-// buildIgnoreIndex scans every comment in the files for ignore
-// directives. Malformed directives (no analyzer list or no reason) are
-// reported as findings themselves so they cannot silently rot.
-func buildIgnoreIndex(fset *token.FileSet, files []*ast.File, sink *[]Diagnostic) ignoreIndex {
-	ix := make(ignoreIndex)
-	for _, f := range files {
-		for _, cg := range f.Comments {
-			for _, c := range cg.List {
-				if !strings.HasPrefix(c.Text, ignorePrefix) {
-					continue
-				}
-				rest := strings.TrimPrefix(c.Text, ignorePrefix)
-				fields := strings.Fields(rest)
-				pos := fset.Position(c.Pos())
-				if len(fields) < 2 {
-					*sink = append(*sink, Diagnostic{
-						Pos:      pos,
-						Analyzer: "lintdirective",
-						Message:  "malformed //lint:ignore directive: want \"//lint:ignore <analyzer>[,...] <reason>\"",
-					})
-					continue
-				}
-				byFile := ix[pos.Filename]
-				if byFile == nil {
-					byFile = make(map[int][]string)
-					ix[pos.Filename] = byFile
-				}
-				for _, name := range strings.Split(fields[0], ",") {
-					if name != "" {
-						byFile[pos.Line] = append(byFile[pos.Line], name)
+// buildIgnoreIndex scans every comment of every package for ignore
+// directives and builds one module-wide index. Malformed directives (no
+// analyzer list or no reason) are reported as findings themselves so
+// they cannot silently rot. Files shared between package views (a
+// package and its test variant) are scanned once.
+func buildIgnoreIndex(pkgs []*Package, sink *[]Diagnostic) *ignoreIndex {
+	ix := &ignoreIndex{
+		lines: make(map[string]map[int][]string),
+		heads: make(map[string]map[int][]string),
+	}
+	seen := make(map[string]bool)
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			filename := pkg.Fset.Position(f.Pos()).Filename
+			if seen[filename] {
+				continue
+			}
+			seen[filename] = true
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					if !strings.HasPrefix(c.Text, ignorePrefix) {
+						continue
+					}
+					rest := strings.TrimPrefix(c.Text, ignorePrefix)
+					fields := strings.Fields(rest)
+					pos := pkg.Fset.Position(c.Pos())
+					if len(fields) < 2 {
+						*sink = append(*sink, Diagnostic{
+							Pos:      pos,
+							Analyzer: "lintdirective",
+							Message:  "malformed //lint:ignore directive: want \"//lint:ignore <analyzer>[,...] <reason>\"",
+						})
+						continue
+					}
+					var names []string
+					for _, name := range strings.Split(fields[0], ",") {
+						if name != "" {
+							names = append(names, name)
+						}
+					}
+					ix.add(ix.lines, pos.Filename, pos.Line, names)
+					if head, ok := enclosingHead(pkg.Fset, f, c.Pos()); ok && head != pos.Line {
+						ix.add(ix.heads, pos.Filename, head, names)
 					}
 				}
 			}
@@ -149,12 +202,68 @@ func buildIgnoreIndex(fset *token.FileSet, files []*ast.File, sink *[]Diagnostic
 	return ix
 }
 
+// enclosingHead finds the starting line of the innermost statement or
+// declaration whose source range covers pos, skipping bare blocks and
+// case clauses (a directive inside a loop or if body attaches to the
+// loop/if itself, not to the brace pair).
+func enclosingHead(fset *token.FileSet, file *ast.File, pos token.Pos) (int, bool) {
+	var innermost ast.Node
+	ast.Inspect(file, func(n ast.Node) bool {
+		if n == nil {
+			return false
+		}
+		if pos < n.Pos() || pos >= n.End() {
+			// Subtrees that do not cover pos are dead ends — except the
+			// File itself, whose Pos (the package clause) need not span
+			// every comment.
+			_, isFile := n.(*ast.File)
+			return isFile
+		}
+		switch n.(type) {
+		case *ast.BlockStmt, *ast.CaseClause, *ast.CommClause:
+			// Bare blocks have no reportable head of their own.
+		default:
+			if _, ok := n.(ast.Stmt); ok {
+				innermost = n
+			} else if _, ok := n.(ast.Decl); ok {
+				innermost = n
+			}
+		}
+		return true
+	})
+	if innermost == nil {
+		return 0, false
+	}
+	return fset.Position(innermost.Pos()).Line, true
+}
+
 // Run executes every analyzer over every package and returns the
-// findings sorted by position then analyzer name.
+// findings sorted by position then analyzer name. The ignore index and
+// (when any analyzer asks for it) the interprocedural call graph are
+// built once over the full package set.
 func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 	var diags []Diagnostic
+	ix := buildIgnoreIndex(pkgs, &diags)
+
+	var graph *flow.Graph
+	for _, a := range analyzers {
+		if a.NeedsFlow {
+			infos := make([]*flow.PackageInfo, len(pkgs))
+			for i, pkg := range pkgs {
+				infos[i] = &flow.PackageInfo{
+					Path:  pkg.Path,
+					Fset:  pkg.Fset,
+					Files: pkg.Files,
+					Pkg:   pkg.Types,
+					Info:  pkg.Info,
+				}
+			}
+			graph = flow.Build(infos)
+			break
+		}
+	}
+
 	for _, pkg := range pkgs {
-		ix := buildIgnoreIndex(pkg.Fset, pkg.Files, &diags)
 		for _, a := range analyzers {
 			pass := &Pass{
 				Analyzer: a,
@@ -165,6 +274,9 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 				Info:     pkg.Info,
 				ignores:  ix,
 				sink:     &diags,
+			}
+			if a.NeedsFlow {
+				pass.Flow = graph
 			}
 			a.Run(pass)
 		}
@@ -197,6 +309,9 @@ func All() []*Analyzer {
 		LockCheck,
 		SweepPure,
 		SimScratch,
+		HotAlloc,
+		CtxFlow,
+		SinkClose,
 	}
 }
 

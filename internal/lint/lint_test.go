@@ -122,6 +122,15 @@ func TestSweepPureFixture(t *testing.T) { runFixture(t, SweepPure, "sweeppure") 
 
 func TestSimScratchFixture(t *testing.T) { runFixture(t, SimScratch, "simscratch") }
 
+func TestHotAllocFixture(t *testing.T)  { runFixture(t, HotAlloc, "hotalloc") }
+func TestCtxFlowFixture(t *testing.T)   { runFixture(t, CtxFlow, "ctxflow") }
+func TestSinkCloseFixture(t *testing.T) { runFixture(t, SinkClose, "sinkclose") }
+
+// TestIgnoreScopeFixture pins the innermost-covering-node suppression
+// rule: a directive inside a loop body suppresses a diagnostic reported
+// at the loop keyword.
+func TestIgnoreScopeFixture(t *testing.T) { runFixture(t, DetRange, "ignorescope") }
+
 // TestSuiteOnOwnModule is the self-hosting gate: the full analyzer
 // suite must report zero findings on the repo's own tree. This is the
 // same invariant CI enforces via `go run ./cmd/twocslint ./...`.

@@ -1,0 +1,94 @@
+package lint
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestLoadTestOnlyImportCycle: cyclea's *external test* package imports
+// cycleb, which imports cyclea. The go tool compiles dependencies
+// without their test files, so this is not a cycle — and the loader
+// must agree, yielding both the compile package and the _test package
+// without errors.
+func TestLoadTestOnlyImportCycle(t *testing.T) {
+	loader := fixtureLoader(t)
+	pkgs, err := loader.Load(filepath.Join(loader.FixtureRoot, "cyclea"))
+	if err != nil {
+		t.Fatalf("loading cyclea: %v", err)
+	}
+	var paths []string
+	for _, pkg := range pkgs {
+		paths = append(paths, pkg.Path)
+		for _, terr := range pkg.TypeErrors {
+			t.Errorf("%s: unexpected type error: %v", pkg.Path, terr)
+		}
+	}
+	want := []string{"cyclea", "cyclea_test"}
+	if strings.Join(paths, ",") != strings.Join(want, ",") {
+		t.Fatalf("loaded packages %v, want %v", paths, want)
+	}
+}
+
+// TestLoadTestOnlyCycleWithoutTests pins the IncludeTests toggle: the
+// same directory without tests yields only the compile package.
+func TestLoadTestOnlyCycleWithoutTests(t *testing.T) {
+	loader := fixtureLoader(t)
+	loader.IncludeTests = false
+	pkgs, err := loader.Load(filepath.Join(loader.FixtureRoot, "cyclea"))
+	if err != nil {
+		t.Fatalf("loading cyclea: %v", err)
+	}
+	if len(pkgs) != 1 || pkgs[0].Path != "cyclea" {
+		t.Fatalf("loaded %d packages, want just cyclea", len(pkgs))
+	}
+}
+
+// TestLoadRealImportCycle: a compile-time cycle must surface as a
+// cycle-naming type error, not a hang or a stack overflow.
+func TestLoadRealImportCycle(t *testing.T) {
+	loader := fixtureLoader(t)
+	pkgs, err := loader.Load(filepath.Join(loader.FixtureRoot, "badcyclea"))
+	if err != nil {
+		t.Fatalf("Load itself should succeed and report the cycle as a type error, got: %v", err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("loaded %d packages, want 1", len(pkgs))
+	}
+	found := false
+	for _, terr := range pkgs[0].TypeErrors {
+		if strings.Contains(terr.Error(), "cycle") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("type errors do not mention the import cycle: %v", pkgs[0].TypeErrors)
+	}
+}
+
+// TestLoadGenerics: parameterized code must type-check cleanly with
+// instantiations recorded, and the whole analyzer suite (including the
+// flow-backed ones, which key summaries by generic origin) must run
+// over it without findings.
+func TestLoadGenerics(t *testing.T) {
+	loader := fixtureLoader(t)
+	pkgs, err := loader.Load(filepath.Join(loader.FixtureRoot, "generics"))
+	if err != nil {
+		t.Fatalf("loading generics: %v", err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("loaded %d packages, want 1", len(pkgs))
+	}
+	pkg := pkgs[0]
+	for _, terr := range pkg.TypeErrors {
+		t.Errorf("type error: %v", terr)
+	}
+	if len(pkg.Info.Instances) == 0 {
+		t.Fatal("no generic instantiations recorded in types.Info.Instances")
+	}
+	if diags := Run(pkgs, All()); len(diags) != 0 {
+		for _, d := range diags {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+}

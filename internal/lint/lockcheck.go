@@ -3,6 +3,7 @@ package lint
 import (
 	"go/ast"
 	"regexp"
+	"sort"
 	"strings"
 )
 
@@ -18,30 +19,199 @@ import (
 // field must contain a recv.<mu>.Lock() or recv.<mu>.RLock() call
 // somewhere in its body.
 //
-// Methods whose names end in "Locked" are exempt by convention — they
-// document that the caller holds the lock.
+// Methods whose names end in "Locked" document that the caller holds
+// the lock. Since v2 that convention is verified, not trusted: a
+// Locked-suffix method's unlocked guarded accesses become a lock
+// *requirement*, requirements propagate through same-receiver calls
+// (a Locked helper calling another Locked helper inherits its needs),
+// and every call to a requiring method from a method that neither
+// locks the mutex nor carries the suffix itself is reported. Guarded
+// fields reached through unexported helpers are thereby checked at
+// every entry point instead of disappearing behind the helper.
 var LockCheck = &Analyzer{
 	Name: "lockcheck",
-	Doc:  "flags access to '// guarded by <mu>' fields from methods that do not lock that mutex",
+	Doc:  "flags access to '// guarded by <mu>' fields from methods that do not lock that mutex, through helper methods included",
 	Run:  runLockCheck,
 }
 
 var guardedByRE = regexp.MustCompile(`guarded by (\w+)`)
+
+// lockMethod is one method's lock-relevant facts.
+type lockMethod struct {
+	fd       *ast.FuncDecl
+	typeName string
+	locked   map[string]bool // mutexes locked anywhere in the body
+	accesses []lockAccess    // guarded-field touches
+	calls    []lockCall      // same-receiver method calls
+	suffixed bool            // name ends in "Locked"
+	requires map[string]bool // mutexes the caller must hold (suffixed only)
+}
+
+type lockAccess struct {
+	node  ast.Node
+	field string
+	mu    string
+}
+
+type lockCall struct {
+	node   ast.Node
+	callee string // typeName.methodName key
+	name   string
+}
 
 func runLockCheck(p *Pass) {
 	guards := collectGuards(p)
 	if len(guards) == 0 {
 		return
 	}
+
+	methods := make(map[string]*lockMethod)
+	var order []string
 	for _, f := range p.Files {
 		for _, decl := range f.Decls {
 			fd, ok := decl.(*ast.FuncDecl)
 			if !ok || fd.Recv == nil || len(fd.Recv.List) == 0 || fd.Body == nil {
 				continue
 			}
-			checkMethod(p, guards, fd)
+			typeName := receiverTypeName(fd)
+			if guards[typeName] == nil {
+				continue
+			}
+			m := analyzeMethod(p, guards[typeName], fd, typeName)
+			if m == nil {
+				continue
+			}
+			key := typeName + "." + fd.Name.Name
+			methods[key] = m
+			order = append(order, key)
 		}
 	}
+	sort.Strings(order)
+
+	// Seed requirements: a Locked-suffix method requires every mutex it
+	// accesses guarded state under without locking itself.
+	for _, key := range order {
+		m := methods[key]
+		m.requires = make(map[string]bool)
+		if !m.suffixed {
+			continue
+		}
+		for _, a := range m.accesses {
+			if !m.locked[a.mu] {
+				m.requires[a.mu] = true
+			}
+		}
+	}
+	// Propagate through same-receiver calls: a Locked helper calling a
+	// requiring helper inherits the requirement (minus anything it
+	// locks itself). The sets only grow, so this terminates.
+	for changed := true; changed; {
+		changed = false
+		for _, key := range order {
+			m := methods[key]
+			if !m.suffixed {
+				continue
+			}
+			for _, c := range m.calls {
+				callee := methods[c.callee]
+				if callee == nil {
+					continue
+				}
+				for mu := range callee.requires {
+					if !m.locked[mu] && !m.requires[mu] {
+						m.requires[mu] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+
+	// Report phase: non-suffixed methods must satisfy their own
+	// accesses (the v1 rule) and every callee's requirements at the
+	// call site (the v2 rule).
+	for _, key := range order {
+		m := methods[key]
+		if m.suffixed {
+			continue
+		}
+		seen := make(map[string]bool)
+		for _, a := range m.accesses {
+			if m.locked[a.mu] || seen[a.field] {
+				continue
+			}
+			seen[a.field] = true
+			p.Report(a.node.Pos(), "field %s is guarded by %s but method %s accesses it without %s.Lock()", a.field, a.mu, m.fd.Name.Name, a.mu)
+		}
+		for _, c := range m.calls {
+			callee := methods[c.callee]
+			if callee == nil {
+				continue
+			}
+			var missing []string
+			for mu := range callee.requires {
+				if !m.locked[mu] {
+					missing = append(missing, mu)
+				}
+			}
+			sort.Strings(missing)
+			for _, mu := range missing {
+				p.Report(c.node.Pos(), "call to %s requires %s held (it touches fields guarded by %s) but method %s does not lock it", c.name, mu, mu, m.fd.Name.Name)
+			}
+		}
+	}
+}
+
+// analyzeMethod gathers one method's locks, guarded accesses, and
+// same-receiver calls. Nil when the receiver is unnamed (fields are
+// unreachable).
+func analyzeMethod(p *Pass, fieldGuards map[string]string, fd *ast.FuncDecl, typeName string) *lockMethod {
+	if len(fd.Recv.List[0].Names) == 0 {
+		return nil
+	}
+	recv := fd.Recv.List[0].Names[0]
+	recvObj := p.Info.Defs[recv]
+	m := &lockMethod{
+		fd:       fd,
+		typeName: typeName,
+		locked:   make(map[string]bool),
+		suffixed: strings.HasSuffix(fd.Name.Name, "Locked"),
+	}
+	seenField := make(map[string]bool)
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			// recv.helper(...) — a same-receiver method call.
+			if sel, ok := unparen(n.Fun).(*ast.SelectorExpr); ok {
+				if base, ok := unparen(sel.X).(*ast.Ident); ok && p.Info.Uses[base] == recvObj {
+					m.calls = append(m.calls, lockCall{
+						node:   n,
+						callee: typeName + "." + sel.Sel.Name,
+						name:   sel.Sel.Name,
+					})
+				}
+			}
+		case *ast.SelectorExpr:
+			inner, ok := unparen(n.X).(*ast.SelectorExpr)
+			if ok {
+				// Possible recv.mu.Lock() chain.
+				if base, ok := unparen(inner.X).(*ast.Ident); ok && p.Info.Uses[base] == recvObj {
+					if n.Sel.Name == "Lock" || n.Sel.Name == "RLock" {
+						m.locked[inner.Sel.Name] = true
+					}
+				}
+			}
+			if base, ok := unparen(n.X).(*ast.Ident); ok && p.Info.Uses[base] == recvObj {
+				if mu, guarded := fieldGuards[n.Sel.Name]; guarded && !seenField[n.Sel.Name] {
+					seenField[n.Sel.Name] = true
+					m.accesses = append(m.accesses, lockAccess{node: n, field: n.Sel.Name, mu: mu})
+				}
+			}
+		}
+		return true
+	})
+	return m
 }
 
 // collectGuards maps struct type name -> guarded field name -> mutex
@@ -107,65 +277,5 @@ func receiverTypeName(fd *ast.FuncDecl) string {
 		default:
 			return ""
 		}
-	}
-}
-
-func checkMethod(p *Pass, guards map[string]map[string]string, fd *ast.FuncDecl) {
-	fieldGuards := guards[receiverTypeName(fd)]
-	if fieldGuards == nil {
-		return
-	}
-	if len(fd.Recv.List[0].Names) == 0 {
-		return // receiver unnamed: fields are unreachable
-	}
-	recv := fd.Recv.List[0].Names[0]
-	recvObj := p.Info.Defs[recv]
-	methodName := fd.Name.Name
-	if strings.HasSuffix(methodName, "Locked") {
-		return
-	}
-
-	// locked records which mutex fields the method locks anywhere in
-	// its body (recv.mu.Lock(), recv.mu.RLock(), including inside
-	// defers and closures — flow-insensitive by design).
-	locked := make(map[string]bool)
-	type access struct {
-		pos   ast.Node
-		field string
-		mu    string
-	}
-	// firstAccess keeps one report per guarded field per method; a
-	// single statement often touches the same field several times.
-	firstAccess := make(map[string]bool)
-	var accesses []access
-
-	ast.Inspect(fd.Body, func(n ast.Node) bool {
-		sel, ok := n.(*ast.SelectorExpr)
-		if !ok {
-			return true
-		}
-		inner, ok := unparen(sel.X).(*ast.SelectorExpr)
-		if ok {
-			// Possible recv.mu.Lock() chain.
-			if base, ok := unparen(inner.X).(*ast.Ident); ok && p.Info.Uses[base] == recvObj {
-				if sel.Sel.Name == "Lock" || sel.Sel.Name == "RLock" {
-					locked[inner.Sel.Name] = true
-				}
-			}
-		}
-		if base, ok := unparen(sel.X).(*ast.Ident); ok && p.Info.Uses[base] == recvObj {
-			if mu, guarded := fieldGuards[sel.Sel.Name]; guarded && !firstAccess[sel.Sel.Name] {
-				firstAccess[sel.Sel.Name] = true
-				accesses = append(accesses, access{pos: sel, field: sel.Sel.Name, mu: mu})
-			}
-		}
-		return true
-	})
-
-	for _, a := range accesses {
-		if locked[a.mu] {
-			continue
-		}
-		p.Report(a.pos.Pos(), "field %s is guarded by %s but method %s accesses it without %s.Lock()", a.field, a.mu, methodName, a.mu)
 	}
 }

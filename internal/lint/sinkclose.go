@@ -1,0 +1,547 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// SinkClose enforces resource discipline on the artifact pipeline:
+// every stream.Sink acquired in a function — and, in main packages,
+// every *os.File and pprof CPU profile — must be closed on every path
+// out of the function, error returns included. The sinks' Close methods
+// write the completeness trailer (`"complete": true` / `#trailer`) that
+// downstream consumers use to detect truncated artifacts, so a missed
+// Close on an error path silently produces an artifact that looks
+// merely short instead of visibly broken.
+//
+// The walker is defer-aware (`defer f.Close()` releases on all
+// subsequent paths) and err-nil-aware (after `v, err := acquire()`,
+// the `err != nil` branch has nothing to close). A resource whose
+// ownership demonstrably moves — returned, stored in a field or
+// composite, sent on a channel, or passed to a callee — stops being
+// tracked, except that passing it to an in-set callee that provably
+// closes it (the flow graph's ClosesParams summary) counts as a close
+// here, not an escape.
+var SinkClose = &Analyzer{
+	Name:      "sinkclose",
+	Doc:       "stream.Sink, os.File and pprof handles must be closed on all paths, error returns included",
+	Run:       runSinkClose,
+	NeedsFlow: true,
+}
+
+// resource is one tracked acquisition.
+type resource struct {
+	pos    token.Pos
+	what   string
+	errVar types.Object // the err of `v, err := acquire()`, nil if none
+}
+
+// sinkState is the set of open resources at a program point, keyed by
+// the variable holding each (pprof profiles use a sentinel key).
+type sinkState map[types.Object]*resource
+
+func (s sinkState) clone() sinkState {
+	out := make(sinkState, len(s))
+	for k, v := range s {
+		out[k] = v
+	}
+	return out
+}
+
+// pprofKey is the sentinel for the process-wide CPU profile, which has
+// no handle variable.
+var pprofKey = types.NewLabel(token.NoPos, nil, "pprof.cpuprofile")
+
+func runSinkClose(p *Pass) {
+	inMain := p.Pkg.Name() == "main"
+	sink := sinkInterface(p.Pkg)
+	if sink == nil && !inMain {
+		return
+	}
+	for _, file := range p.Files {
+		filename := p.Fset.Position(file.Pos()).Filename
+		if strings.HasSuffix(filename, "_test.go") {
+			continue
+		}
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			w := &sinkWalker{pass: p, inMain: inMain, sink: sink, leaks: map[*resource]int{}}
+			st, terminated := w.walkStmts(fd.Body.List, sinkState{})
+			if !terminated {
+				w.exit(st, p.Fset.Position(fd.Body.Rbrace).Line)
+			}
+			w.report()
+		}
+	}
+}
+
+// sinkInterface resolves the stream.Sink interface from the package's
+// import graph, nil when the package never touches streams.
+func sinkInterface(pkg *types.Package) *types.Interface {
+	for _, imp := range allImports(pkg, map[*types.Package]bool{}) {
+		if !strings.HasSuffix(imp.Path(), "internal/stream") {
+			continue
+		}
+		if obj, ok := imp.Scope().Lookup("Sink").(*types.TypeName); ok {
+			if iface, ok := obj.Type().Underlying().(*types.Interface); ok {
+				return iface
+			}
+		}
+	}
+	return nil
+}
+
+func allImports(pkg *types.Package, seen map[*types.Package]bool) []*types.Package {
+	var out []*types.Package
+	for _, imp := range pkg.Imports() {
+		if seen[imp] {
+			continue
+		}
+		seen[imp] = true
+		out = append(out, imp)
+		out = append(out, allImports(imp, seen)...)
+	}
+	return out
+}
+
+type sinkWalker struct {
+	pass   *Pass
+	inMain bool
+	sink   *types.Interface
+	// leaks maps each leaked resource to the line of the first exit
+	// that left it open; reported once per resource.
+	leaks map[*resource]int
+}
+
+func (w *sinkWalker) report() {
+	for res, line := range w.leaks {
+		w.pass.Report(res.pos, "%s acquired here is not closed on the path exiting at line %d; Close it (or defer) on every path, error returns included", res.what, line)
+	}
+}
+
+// exit records every still-open resource at a function exit point.
+func (w *sinkWalker) exit(st sinkState, line int) {
+	for _, res := range st {
+		if _, dup := w.leaks[res]; !dup {
+			w.leaks[res] = line
+		}
+	}
+}
+
+// walkStmts interprets a statement list, returning the state after it
+// and whether the list terminates (returns on every path it models).
+func (w *sinkWalker) walkStmts(list []ast.Stmt, st sinkState) (sinkState, bool) {
+	for _, s := range list {
+		var terminated bool
+		st, terminated = w.walkStmt(s, st)
+		if terminated {
+			return st, true
+		}
+	}
+	return st, false
+}
+
+func (w *sinkWalker) walkStmt(s ast.Stmt, st sinkState) (sinkState, bool) {
+	switch s := s.(type) {
+	case *ast.AssignStmt:
+		return w.walkAssign(s, st), false
+	case *ast.ExprStmt:
+		return w.walkExprEffects(s.X, st), false
+	case *ast.DeferStmt:
+		// A deferred close releases on every subsequent path. Deferred
+		// cleanup closures (`defer func() { pprof.StopCPUProfile();
+		// f.Close() }()`) are scanned for their release effects too.
+		if lit, ok := unparen(s.Call.Fun).(*ast.FuncLit); ok {
+			ast.Inspect(lit.Body, func(n ast.Node) bool {
+				if call, ok := n.(*ast.CallExpr); ok {
+					st = w.walkCallEffects(call, st)
+					return false
+				}
+				return true
+			})
+			return st, false
+		}
+		return w.walkCallEffects(s.Call, st), false
+	case *ast.GoStmt:
+		return w.walkCallEffects(s.Call, st), false
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			st = w.escape(r, st)
+			st = w.walkExprEffects(r, st)
+		}
+		w.exit(st, w.pass.Fset.Position(s.Pos()).Line)
+		return st, true
+	case *ast.IfStmt:
+		if s.Init != nil {
+			st, _ = w.walkStmt(s.Init, st)
+		}
+		st = w.walkExprEffects(s.Cond, st)
+		thenSt := w.errPrune(s.Cond, true, st.clone())
+		thenSt, thenTerm := w.walkStmts(s.Body.List, thenSt)
+		elseSt := w.errPrune(s.Cond, false, st.clone())
+		elseTerm := false
+		if s.Else != nil {
+			switch e := s.Else.(type) {
+			case *ast.BlockStmt:
+				elseSt, elseTerm = w.walkStmts(e.List, elseSt)
+			case *ast.IfStmt:
+				elseSt, elseTerm = w.walkStmt(e, elseSt)
+			}
+		}
+		switch {
+		case thenTerm && elseTerm:
+			return st, true
+		case thenTerm:
+			return elseSt, false
+		case elseTerm:
+			return thenSt, false
+		default:
+			return merge(thenSt, elseSt), false
+		}
+	case *ast.BlockStmt:
+		return w.walkStmts(s.List, st)
+	case *ast.ForStmt:
+		if s.Init != nil {
+			st, _ = w.walkStmt(s.Init, st)
+		}
+		st = w.walkExprEffects(s.Cond, st)
+		bodySt, _ := w.walkStmts(s.Body.List, st.clone())
+		return merge(st, bodySt), false
+	case *ast.RangeStmt:
+		st = w.walkExprEffects(s.X, st)
+		bodySt, _ := w.walkStmts(s.Body.List, st.clone())
+		return merge(st, bodySt), false
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		return w.walkBranches(s, st)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						st = w.walkExprEffects(v, st)
+					}
+				}
+			}
+		}
+		return st, false
+	case *ast.LabeledStmt:
+		return w.walkStmt(s.Stmt, st)
+	case *ast.SendStmt:
+		st = w.escape(s.Value, st)
+		return st, false
+	default:
+		return st, false
+	}
+}
+
+// walkBranches handles switch/select: each clause runs on a copy of the
+// incoming state; the out-state is the union of non-terminating
+// clauses.
+func (w *sinkWalker) walkBranches(s ast.Stmt, st sinkState) (sinkState, bool) {
+	var body *ast.BlockStmt
+	switch s := s.(type) {
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			st, _ = w.walkStmt(s.Init, st)
+		}
+		st = w.walkExprEffects(s.Tag, st)
+		body = s.Body
+	case *ast.TypeSwitchStmt:
+		body = s.Body
+	case *ast.SelectStmt:
+		body = s.Body
+	}
+	out := st
+	for _, clause := range body.List {
+		clauseSt := st.clone()
+		var stmts []ast.Stmt
+		switch c := clause.(type) {
+		case *ast.CaseClause:
+			stmts = c.Body
+		case *ast.CommClause:
+			if c.Comm != nil {
+				clauseSt, _ = w.walkStmt(c.Comm, clauseSt)
+			}
+			stmts = c.Body
+		}
+		clauseSt, term := w.walkStmts(stmts, clauseSt)
+		if !term {
+			out = merge(out, clauseSt)
+		}
+	}
+	return out, false
+}
+
+// walkAssign handles acquisition (`v, err := acquire()`), release by
+// reassignment, and escapes into fields/composites.
+func (w *sinkWalker) walkAssign(s *ast.AssignStmt, st sinkState) sinkState {
+	for _, r := range s.Rhs {
+		st = w.walkExprEffects(r, st)
+	}
+	// Single call, possibly multi-value: v, err := acquire().
+	if len(s.Rhs) == 1 {
+		if call, ok := unparen(s.Rhs[0]).(*ast.CallExpr); ok {
+			if what, ok := w.acquires(call); ok {
+				if id, ok := unparen(s.Lhs[0]).(*ast.Ident); ok && id.Name != "_" {
+					obj := w.defOrUse(id)
+					if obj != nil {
+						res := &resource{pos: call.Pos(), what: what}
+						if len(s.Lhs) == 2 {
+							if errID, ok := unparen(s.Lhs[1]).(*ast.Ident); ok {
+								res.errVar = w.defOrUse(errID)
+							}
+						}
+						st = st.clone()
+						st[obj] = res
+						return st
+					}
+				}
+				// Acquired into a non-ident target: escapes immediately.
+			}
+		}
+	}
+	// `err := pprof.StartCPUProfile(f)` (plain or as an if-init): the
+	// profile only started when err is nil, so bind the err for
+	// errPrune the same way `v, err := acquire()` binds it.
+	if len(s.Rhs) == 1 && len(s.Lhs) == 1 {
+		if call, ok := unparen(s.Rhs[0]).(*ast.CallExpr); ok {
+			if res := st[pprofKey]; res != nil && res.errVar == nil && res.pos == call.Pos() {
+				if errID, ok := unparen(s.Lhs[0]).(*ast.Ident); ok && errID.Name != "_" {
+					res.errVar = w.defOrUse(errID)
+				}
+			}
+		}
+	}
+	// Aliasing a tracked resource (`w := f`, `x.field = f`) moves
+	// ownership somewhere this walker does not follow; calls on the RHS
+	// were already interpreted by walkExprEffects and keep their
+	// receiver tracked.
+	for _, r := range s.Rhs {
+		if _, isCall := unparen(r).(*ast.CallExpr); !isCall {
+			st = w.escape(r, st)
+		}
+	}
+	return st
+}
+
+// acquires classifies a call as a resource acquisition.
+func (w *sinkWalker) acquires(call *ast.CallExpr) (string, bool) {
+	obj := calleeFunc(w.pass, call)
+	if obj == nil {
+		return "", false
+	}
+	if w.inMain && obj.Pkg() != nil {
+		switch obj.Pkg().Path() {
+		case "os":
+			if obj.Name() == "Create" || obj.Name() == "Open" || obj.Name() == "OpenFile" {
+				return "os.File from os." + obj.Name(), true
+			}
+		}
+	}
+	if w.sink == nil {
+		return "", false
+	}
+	sig, ok := obj.Type().(*types.Signature)
+	if !ok || sig.Results().Len() == 0 {
+		return "", false
+	}
+	rt := sig.Results().At(0).Type()
+	// The Sink interface itself, or a concrete type implementing it.
+	if types.Implements(rt, w.sink) || types.Implements(types.NewPointer(rt), w.sink) {
+		// Methods on sinks that return the receiver-ish values (none
+		// today) would be misread as acquisitions; constructors are
+		// package-level functions.
+		if sig.Recv() == nil {
+			return "stream.Sink from " + calleeName(obj), true
+		}
+	}
+	return "", false
+}
+
+// walkExprEffects scans an expression for closes, pprof transitions,
+// and ownership-moving uses of tracked resources.
+func (w *sinkWalker) walkExprEffects(e ast.Expr, st sinkState) sinkState {
+	if e == nil {
+		return st
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			st = w.walkCallEffects(call, st)
+			return false
+		}
+		if lit, ok := n.(*ast.CompositeLit); ok {
+			for _, elt := range lit.Elts {
+				st = w.escape(elt, st)
+			}
+		}
+		return true
+	})
+	return st
+}
+
+// walkCallEffects interprets one call: Close releases, pprof
+// transitions, callees that close a forwarded resource release it, any
+// other use of a tracked resource as an argument escapes it.
+func (w *sinkWalker) walkCallEffects(call *ast.CallExpr, st sinkState) sinkState {
+	obj := calleeFunc(w.pass, call)
+
+	// pprof.StartCPUProfile / StopCPUProfile.
+	if w.inMain && obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "runtime/pprof" {
+		switch obj.Name() {
+		case "StartCPUProfile":
+			st = st.clone()
+			st[pprofKey] = &resource{pos: call.Pos(), what: "CPU profile from pprof.StartCPUProfile"}
+			return st
+		case "StopCPUProfile":
+			st = st.clone()
+			delete(st, pprofKey)
+			return st
+		}
+	}
+
+	// v.Close() on a tracked resource.
+	if sel, ok := unparen(call.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "Close" {
+		if id, ok := unparen(sel.X).(*ast.Ident); ok {
+			if res := w.defOrUse(id); res != nil && st[res] != nil {
+				st = st.clone()
+				delete(st, res)
+				return st
+			}
+		}
+	}
+
+	// Nested calls in arguments first (acquisition inside a call
+	// argument escapes below).
+	for _, a := range call.Args {
+		if inner, ok := unparen(a).(*ast.CallExpr); ok {
+			st = w.walkCallEffects(inner, st)
+		}
+	}
+
+	// Tracked resources passed as arguments. Three cases:
+	//   - the callee is a known borrower (fmt.Fprint*, io writers):
+	//     the resource stays this function's responsibility;
+	//   - the callee provably closes that parameter (ClosesParams) or
+	//     is otherwise unknown: ownership moves, tracking stops —
+	//     callees that take ownership and then leak are their own
+	//     sinkclose finding when they are in the analyzed set.
+	for _, a := range call.Args {
+		id, ok := unparen(a).(*ast.Ident)
+		if !ok {
+			st = w.escape(a, st)
+			continue
+		}
+		resObj := w.defOrUse(id)
+		if resObj == nil || st[resObj] == nil {
+			continue
+		}
+		if borrowsArgs(obj) {
+			continue
+		}
+		st = st.clone()
+		delete(st, resObj)
+	}
+	return st
+}
+
+// borrowsArgs lists external callees that use an argument without
+// taking ownership of it — writing through a handle does not discharge
+// the duty to close it.
+func borrowsArgs(obj *types.Func) bool {
+	if obj == nil || obj.Pkg() == nil {
+		return false
+	}
+	switch obj.Pkg().Path() {
+	case "fmt":
+		return true
+	case "io":
+		return obj.Name() == "Copy" || obj.Name() == "CopyN" || obj.Name() == "WriteString" || obj.Name() == "ReadAll"
+	}
+	return false
+}
+
+// escape stops tracking any resource the expression mentions —
+// ownership has moved beyond this walker's view.
+func (w *sinkWalker) escape(e ast.Expr, st sinkState) sinkState {
+	if e == nil {
+		return st
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := w.defOrUse(id); obj != nil && st[obj] != nil {
+				st = st.clone()
+				delete(st, obj)
+			}
+		}
+		return true
+	})
+	return st
+}
+
+// errPrune refines a branch state for `if err != nil` checks on the
+// err of an acquisition: in the branch where err is non-nil the
+// acquisition failed and there is nothing to close.
+func (w *sinkWalker) errPrune(cond ast.Expr, thenBranch bool, st sinkState) sinkState {
+	bin, ok := unparen(cond).(*ast.BinaryExpr)
+	if !ok {
+		return st
+	}
+	var errSide ast.Expr
+	switch {
+	case isNilIdent(bin.X):
+		errSide = bin.Y
+	case isNilIdent(bin.Y):
+		errSide = bin.X
+	default:
+		return st
+	}
+	id, ok := unparen(errSide).(*ast.Ident)
+	if !ok {
+		return st
+	}
+	errObj := w.defOrUse(id)
+	if errObj == nil {
+		return st
+	}
+	// err != nil: then-branch has err non-nil. err == nil: else-branch.
+	errIsNonNil := (bin.Op == token.NEQ && thenBranch) || (bin.Op == token.EQL && !thenBranch)
+	if !errIsNonNil {
+		return st
+	}
+	for key, res := range st {
+		if res.errVar == errObj {
+			st = st.clone()
+			delete(st, key)
+		}
+	}
+	return st
+}
+
+func isNilIdent(e ast.Expr) bool {
+	id, ok := unparen(e).(*ast.Ident)
+	return ok && id.Name == "nil"
+}
+
+func (w *sinkWalker) defOrUse(id *ast.Ident) types.Object {
+	if obj := w.pass.Info.Defs[id]; obj != nil {
+		return obj
+	}
+	return w.pass.Info.Uses[id]
+}
+
+// merge unions two branch states: a resource open on either path is
+// still this function's responsibility.
+func merge(a, b sinkState) sinkState {
+	out := a.clone()
+	for k, v := range b {
+		if out[k] == nil {
+			out[k] = v
+		}
+	}
+	return out
+}

@@ -1,0 +1,9 @@
+// Package badcyclea is half of a genuine compile-time import cycle
+// (badcycleb imports it back from a non-test file). The loader must
+// report the cycle instead of recursing forever.
+package badcyclea
+
+import "badcycleb"
+
+// A re-exports B.
+func A() int { return badcycleb.B() }

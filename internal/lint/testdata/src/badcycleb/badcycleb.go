@@ -1,0 +1,7 @@
+// Package badcycleb closes the compile-time cycle with badcyclea.
+package badcycleb
+
+import "badcyclea"
+
+// B re-exports A.
+func B() int { return badcyclea.A() }

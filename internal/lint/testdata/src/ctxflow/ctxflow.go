@@ -1,0 +1,70 @@
+// Package ctxflow exercises the ctxflow analyzer: manufactured
+// contexts in library code, the facade allowlist, dropped contexts at
+// call sites, and the interprocedural severed-chain rule.
+package ctxflow
+
+import (
+	"context"
+	"time"
+)
+
+// run is the blocking leaf every chain below targets.
+func run(ctx context.Context) {
+	select {
+	case <-ctx.Done():
+	case <-time.After(time.Millisecond):
+	}
+}
+
+// BG: a manufactured context in library code.
+func makesBackground() {
+	ctx := context.Background() // want "severs caller cancellation"
+	_ = ctx
+}
+
+// A declared facade may manufacture its context.
+//
+//lint:ctxfacade compat shim for pre-Ctx callers, no caller context exists
+func facade() {
+	run(context.Background())
+}
+
+// A facade annotation without a reason is itself a finding.
+//
+//lint:ctxfacade
+func badFacade() { // want "needs a reason"
+	run(context.Background())
+}
+
+// DROP: a context-bearing function passing nil where a context belongs.
+func dropsCtx(ctx context.Context) {
+	run(nil) // want "non-context value in its context position"
+}
+
+// Forwarding the caller's context is the contract.
+func threads(ctx context.Context) {
+	run(ctx)
+}
+
+// Deriving from the caller's context preserves the chain.
+func derives(ctx context.Context) {
+	tctx, cancel := context.WithTimeout(ctx, time.Second)
+	defer cancel()
+	run(tctx)
+}
+
+// SEVER: helper reaches context-taking machinery with no context to
+// give it; calling it from a context-bearing function severs the chain.
+func sever(ctx context.Context) {
+	helper() // want "reaches context-taking code without one"
+}
+
+func helper() {
+	run(context.TODO()) // want "severs caller cancellation"
+}
+
+// Calling through a facade is sanctioned — that is what facades are
+// for.
+func throughFacade(ctx context.Context) {
+	facade()
+}

@@ -1,0 +1,8 @@
+// Package cyclea is half of a test-only import cycle: its external test
+// package imports cycleb, which imports cyclea. The go tool compiles
+// dependencies without their test files, so this is legal — and the
+// loader must resolve it the same way instead of reporting a cycle.
+package cyclea
+
+// Value is the datum cycleb re-exports.
+func Value() int { return 40 }

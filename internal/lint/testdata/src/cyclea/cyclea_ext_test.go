@@ -1,0 +1,14 @@
+package cyclea_test
+
+import (
+	"testing"
+
+	"cyclea"
+	"cycleb"
+)
+
+func TestRoundTrip(t *testing.T) {
+	if cycleb.Doubled() != 2*cyclea.Value() {
+		t.Fatal("cycleb does not double cyclea")
+	}
+}

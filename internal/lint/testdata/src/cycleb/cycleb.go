@@ -1,0 +1,8 @@
+// Package cycleb imports cyclea; cyclea's external test package
+// imports cycleb back. See cyclea for why this must load cleanly.
+package cycleb
+
+import "cyclea"
+
+// Doubled returns twice cyclea's value.
+func Doubled() int { return 2 * cyclea.Value() }

@@ -1,0 +1,50 @@
+// Package generics exercises the loader and the flow engine on
+// parameterized code: generic functions, generic types, method calls on
+// instantiations, and explicit instantiation expressions. The loader
+// must type-check all of it without errors and record instances; the
+// flow engine must key summaries by origin (one summary per generic
+// declaration, not per instantiation).
+package generics
+
+// Number is the constraint shared by the package.
+type Number interface {
+	~int | ~int64 | ~float64
+}
+
+// Sum folds a slice with +.
+func Sum[T Number](xs []T) T {
+	var total T
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}
+
+// Pair is a generic container with a method.
+type Pair[T any] struct {
+	A, B T
+}
+
+// Swap returns the pair reversed.
+func (p Pair[T]) Swap() Pair[T] { return Pair[T]{A: p.B, B: p.A} }
+
+// Map applies f elementwise into a fresh slice.
+func Map[T, U any](xs []T, f func(T) U) []U {
+	out := make([]U, 0, len(xs))
+	for _, x := range xs {
+		out = append(out, f(x))
+	}
+	return out
+}
+
+// useAll instantiates everything: inferred calls, explicit
+// instantiation expressions, and methods on instantiated types.
+func useAll() float64 {
+	ints := Sum([]int{1, 2, 3})
+	floats := Sum[float64]([]float64{0.5, 1.5})
+	p := Pair[int]{A: ints, B: 4}.Swap()
+	halves := Map(p.sliced(), func(x int) float64 { return float64(x) / 2 })
+	return floats + Sum(halves)
+}
+
+func (p Pair[T]) sliced() []T { return []T{p.A, p.B} }

@@ -1,0 +1,178 @@
+// Package hotalloc exercises the hotalloc analyzer: every intrinsic
+// allocating construct, the interprocedural closure walk, the
+// steady-state exemptions, and //lint:ignore suppression.
+package hotalloc
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Every intrinsic allocating construct in one annotated root.
+//
+//lint:hotpath
+func badAllocs(s string, n int, xs []int) []int {
+	m := make(map[string]int) // want "make in hotalloc.badAllocs"
+	_ = m
+	p := new(int) // want "new in hotalloc.badAllocs"
+	_ = p
+	ys := append(xs, n) // want "append into a fresh slice"
+	cat := s + s        // want "string concatenation"
+	_ = cat
+	bs := []byte(s) // want "allocating conversion"
+	_ = bs
+	return ys
+}
+
+type pair struct{ a, b int }
+
+//lint:hotpath
+func escapingLit(n int) *pair {
+	return &pair{a: n} // want "escaping composite literal"
+}
+
+//lint:hotpath
+func sliceLit() int {
+	xs := []int{1, 2, 3} // want "escaping composite literal"
+	return xs[0]
+}
+
+// The closure walk: the allocation lives in a helper, the report names
+// the chain from the annotated root.
+//
+//lint:hotpath
+func hotRoot(buf []byte) []byte {
+	return helper(buf)
+}
+
+func helper(buf []byte) []byte {
+	tmp := make([]byte, 8) // want "make in hotalloc.helper"
+	return append(buf, tmp...)
+}
+
+// Dynamic calls cannot be proven allocation-free.
+//
+//lint:hotpath
+func callsFuncValue(f func() int) int {
+	return f() // want "dynamic call"
+}
+
+type op interface{ run() int }
+
+//lint:hotpath
+func callsIface(o op) int {
+	return o.run() // want "dynamic call"
+}
+
+// External calls: table-known allocators are reported, table-known safe
+// functions are not, absent entries are "not proven".
+//
+//lint:hotpath
+func callsExternal(s string, n int) string {
+	if strings.HasPrefix(s, "x") {
+		return strconv.Itoa(n) // want "allocating strconv.Itoa"
+	}
+	return os.Getenv(s) // want "not proven allocation-free"
+}
+
+// Boxing a concrete value into an interface parameter allocates the
+// boxed copy.
+//
+//lint:hotpath
+func boxes(v pair) {
+	consume(v) // want "interface boxing"
+}
+
+func consume(x interface{}) { _ = x }
+
+// An escaping capturing literal allocates the closure object; the
+// helper that invokes it has an unprovable dynamic call.
+//
+//lint:hotpath
+func escapingClosure(xs []int) int {
+	total := 0
+	each(xs, func(x int) { total += x }) // want "escaping capturing closure"
+	return total
+}
+
+func each(xs []int, f func(int)) {
+	for _, x := range xs {
+		f(x) // want "dynamic call"
+	}
+}
+
+// The steady-state exemptions: error paths, cap-guarded grows, and the
+// amortized append idioms produce no findings.
+//
+//lint:hotpath
+func exempt(buf []byte, n int) ([]byte, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("negative count %d", n)
+	}
+	if cap(buf) < n {
+		buf = make([]byte, 0, n)
+	}
+	buf = append(buf, byte(n))
+	return buf, nil
+}
+
+// A return that constructs its error in place is an error exit even
+// without an enclosing if.
+//
+//lint:hotpath
+func tailError(n int) (int, error) {
+	if n > 0 {
+		return n, nil
+	}
+	return 0, fmt.Errorf("unreachable count %d", n)
+}
+
+// Lazy init behind a nil test is one-time setup, same as a cap guard.
+type lazy struct{ buf *pair }
+
+//lint:hotpath
+func (l *lazy) get() *pair {
+	if l.buf == nil {
+		l.buf = &pair{}
+	}
+	return l.buf
+}
+
+// A generic call passes its arguments monomorphically: a type-parameter
+// position is not an interface box.
+//
+//lint:hotpath
+func genericCall(n int) int {
+	return pick(n, n+1)
+}
+
+func pick[T int | string](a, b T) T {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// A capture-free literal bound to a local and invoked directly is
+// folded into the summary — no closure object, no dynamic call.
+//
+//lint:hotpath
+func localClosure(xs []int) int {
+	double := func(x int) int { return x * 2 }
+	return double(xs[0])
+}
+
+// Suppression at the alloc site.
+//
+//lint:hotpath
+func suppressed() *int {
+	//lint:ignore hotalloc one-time bounded allocation, demonstrating suppression
+	return new(int)
+}
+
+// Unannotated functions may allocate freely.
+func coldPath() []int {
+	return append([]int{}, 1, 2, 3)
+}

@@ -1,0 +1,43 @@
+// Package ignorescope pins the //lint:ignore scoping rule: a directive
+// inside a block suppresses a diagnostic reported on the innermost
+// enclosing statement — here a detrange finding that lands on the `for`
+// keyword while the directive sits inside the loop body.
+package ignorescope
+
+import "fmt"
+
+// Suppressed: the directive is inside the range body, the diagnostic
+// position is the `for` of the enclosing RangeStmt.
+func suppressedInsideBody(m map[string]int) {
+	for k, v := range m {
+		//lint:ignore detrange demo loop, output order intentionally unspecified
+		fmt.Println(k, v)
+	}
+}
+
+// Control: the same shape without a directive is still flagged.
+func unsuppressed(m map[string]int) {
+	for k, v := range m { // want "sort the keys first"
+		fmt.Println(k, v)
+	}
+}
+
+// The line rule is unchanged: a directive directly above the flagged
+// line still works.
+func suppressedAbove(m map[string]int) {
+	//lint:ignore detrange demo loop, output order intentionally unspecified
+	for k, v := range m {
+		fmt.Println(k, v)
+	}
+}
+
+// A directive in one loop does not bleed into a sibling loop.
+func siblingNotSuppressed(m map[string]int) {
+	for k, v := range m {
+		//lint:ignore detrange demo loop, output order intentionally unspecified
+		fmt.Println(k, v)
+	}
+	for k, v := range m { // want "sort the keys first"
+		fmt.Println(k, v)
+	}
+}

@@ -64,3 +64,47 @@ func (g *gauge) Load() float64 {
 func (g *gauge) BadLoad() float64 {
 	return g.v // want "guarded by mu"
 }
+
+// --- v2: requirements propagate through helper methods ---
+
+// Holding the lock across a Locked helper call satisfies its
+// requirement.
+func (c *counter) SafeViaHelper() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.nLocked()
+}
+
+// Calling a Locked helper without the lock is the leak v1 could not
+// see: the guarded field is reached through the helper.
+func (c *counter) BadViaHelper() int {
+	return c.nLocked() // want "requires mu held"
+}
+
+// Requirements chain: sumLocked needs mu both for its own access and
+// through nLocked.
+func (c *counter) sumLocked() int {
+	return c.nLocked() + len(c.hits)
+}
+
+func (c *counter) BadViaChain() int {
+	return c.sumLocked() // want "requires mu held"
+}
+
+func (c *counter) SafeViaChain() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.sumLocked()
+}
+
+// A Locked helper that takes the lock itself imposes nothing on its
+// callers.
+func (c *counter) selfLockingLocked() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+func (c *counter) SafeViaSelfLocking() int {
+	return c.selfLockingLocked()
+}

@@ -1,0 +1,92 @@
+// Package sinkclose exercises the sinkclose analyzer: leaked sinks,
+// error-path leaks, defer-aware release, err-nil invalidation, and
+// ownership transfer by escape or by a closing callee.
+package sinkclose
+
+import (
+	"bytes"
+	"errors"
+
+	"twocs/internal/stream"
+)
+
+var errBoom = errors.New("boom")
+
+func doWork() error { return errBoom }
+
+// A sink that never gets closed leaks at the fall-off-the-end exit.
+func leaks(buf *bytes.Buffer) {
+	s := stream.NewNDJSON(buf) // want "not closed on the path exiting"
+	s.Emit(stream.Row{})
+}
+
+// Closed on the success path only: the error return leaks it.
+func leakOnError(buf *bytes.Buffer) error {
+	s := stream.NewNDJSON(buf) // want "not closed on the path exiting"
+	if err := doWork(); err != nil {
+		return err
+	}
+	s.Close(stream.Trailer{})
+	return nil
+}
+
+// A deferred Close covers every exit.
+func deferClosed(buf *bytes.Buffer) error {
+	s := stream.NewNDJSON(buf)
+	defer s.Close(stream.Trailer{})
+	if err := doWork(); err != nil {
+		return err
+	}
+	return s.Emit(stream.Row{})
+}
+
+// Explicit Close on every path is also fine.
+func closedBothPaths(buf *bytes.Buffer) error {
+	s := stream.NewCSV(buf)
+	if err := doWork(); err != nil {
+		s.Close(stream.Trailer{})
+		return err
+	}
+	s.Close(stream.Trailer{})
+	return nil
+}
+
+// After `v, err := acquire()`, the err != nil branch has nothing to
+// close.
+func errNilAware(k int) error {
+	top, err := stream.NewTopK(k)
+	if err != nil {
+		return err
+	}
+	top.Close(stream.Trailer{})
+	return nil
+}
+
+// Returning the sink transfers ownership to the caller.
+func escapesByReturn(buf *bytes.Buffer) stream.Sink {
+	return stream.NewNDJSON(buf)
+}
+
+// Storing the sink in a composite transfers ownership too.
+func escapesIntoSlice(buf *bytes.Buffer) []stream.Sink {
+	s := stream.NewNDJSON(buf)
+	return []stream.Sink{s}
+}
+
+// Passing the sink to a callee that provably closes it (the flow
+// graph's ClosesParams summary) discharges the duty here.
+func closerCallee(buf *bytes.Buffer) {
+	s := stream.NewCSV(buf)
+	finish(s)
+}
+
+func finish(s stream.Sink) {
+	s.Close(stream.Trailer{})
+}
+
+// Suppression with a reason still works.
+func suppressed(buf *bytes.Buffer) {
+	//lint:ignore sinkclose intentionally unclosed, the process exits immediately after
+	s := stream.NewNDJSON(buf)
+	s.Emit(stream.Row{})
+}

@@ -63,6 +63,8 @@ func checkArgs(n int, fnNil bool) error {
 // guarantee hold: chunks are claimed monotonically, so every index
 // below a failing one is either complete or inside a claimed chunk
 // whose worker will still visit it when the failure is recorded.
+//
+//lint:ctxfacade non-Ctx compat entry point; callers without a context use MapCtx to get cancellation
 func Map[T any](workers, n int, fn func(int) (T, error)) ([]T, error) {
 	if err := checkArgs(n, fn == nil); err != nil {
 		return nil, err

@@ -217,6 +217,8 @@ func (p *Program) RunWith(st *RunState, durations []units.Seconds, cfg Config) (
 // per-point allocations. Steady state is zero allocs per run. tr must
 // not be read concurrently with the call; its previous contents are
 // overwritten.
+//
+//lint:hotpath
 func (p *Program) RunReuse(st *RunState, durations []units.Seconds, cfg Config, tr *Trace) error {
 	if tr == nil {
 		return fmt.Errorf("sim: nil trace")

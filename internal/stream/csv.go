@@ -37,6 +37,8 @@ func (c *CSV) ensureHeader() error {
 }
 
 // Emit implements Sink.
+//
+//lint:hotpath
 func (c *CSV) Emit(r Row) error {
 	if err := c.ensureHeader(); err != nil {
 		return err

@@ -25,6 +25,8 @@ func NewNDJSON(w io.Writer) *NDJSON {
 }
 
 // Emit implements Sink.
+//
+//lint:hotpath
 func (n *NDJSON) Emit(r Row) error {
 	b := n.buf[:0]
 	b = append(b, `{"i":`...)

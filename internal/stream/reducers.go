@@ -45,6 +45,8 @@ func dominates(a, b Row) bool {
 }
 
 // Emit implements Sink.
+//
+//lint:hotpath
 func (p *Pareto) Emit(r Row) error {
 	keep := p.frontier[:0]
 	for _, f := range p.frontier {
@@ -57,6 +59,10 @@ func (p *Pareto) Emit(r Row) error {
 			keep = append(keep, f)
 		}
 	}
+	// The append reuses the frontier's backing array (keep re-slices it)
+	// and grows only when a new non-dominated row exceeds its capacity —
+	// amortized over the frontier size, not paid per emitted row.
+	//lint:ignore hotalloc frontier growth is amortized over the (small) frontier, not per row
 	p.frontier = append(keep, r)
 	return nil
 }
@@ -112,6 +118,8 @@ func NewTopK(k int) (*TopK, error) {
 }
 
 // Emit implements Sink.
+//
+//lint:hotpath
 func (t *TopK) Emit(r Row) error {
 	if len(t.heap) < t.k {
 		t.heap = append(t.heap, r)
@@ -228,6 +236,8 @@ func addTo[K comparable](m map[K]*marginalAcc, k K, r Row) {
 }
 
 // Emit implements Sink.
+//
+//lint:hotpath
 func (m *Marginals) Emit(r Row) error {
 	addTo(m.byH, r.H, r)
 	addTo(m.bySL, r.SL, r)
