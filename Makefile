@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test race lint bench bench-sim bench-stream bench-json bench-gate bench-report clean
+.PHONY: build test race lint bench bench-sim bench-stream bench-json bench-gate bench-report obs-smoke clean
 
 build:
 	$(GO) build ./...
@@ -57,6 +57,12 @@ bench-gate:
 # bench-report re-renders BENCHMARK.md from the committed baselines.
 bench-report:
 	scripts/bench_report.sh
+
+# obs-smoke exercises the live observability plane end to end: a
+# streaming sweep with -http/-sample/-progress, scraped mid-run — the
+# same check CI runs.
+obs-smoke:
+	scripts/obs_smoke.sh
 
 clean:
 	rm -f twocs twocslint

@@ -31,7 +31,9 @@ import (
 	"os"
 	"os/signal"
 	"runtime/pprof"
+	"sync/atomic"
 	"syscall"
+	"time"
 
 	"twocs/internal/core"
 	"twocs/internal/hw"
@@ -89,6 +91,22 @@ var telemetryOpts struct {
 // metricsSink receives the -metrics dump; tests substitute a buffer.
 var metricsSink io.Writer = os.Stderr
 
+// heartbeatSink receives the -progress NDJSON heartbeat events; tests
+// substitute a buffer. Heartbeats go to stderr so subcommand stdout
+// stays byte-identical with and without live observability.
+var heartbeatSink io.Writer = os.Stderr
+
+// debugAddr publishes the -http server's bound address while a run is
+// live ("" otherwise); tests poll it to scrape a run mid-flight.
+var debugAddr atomic.Value // of string
+
+func debugServerAddr() string {
+	if v, ok := debugAddr.Load().(string); ok {
+		return v
+	}
+	return ""
+}
+
 // addSharedFlags registers the flags every subcommand shares. Defaults
 // are the variables' current values, so a value parsed in the global
 // position survives the subcommand's own Parse.
@@ -140,6 +158,12 @@ func runCtx(ctx context.Context, args []string, w io.Writer) (err error) {
 		"write a heap profile to `file` at exit (global position only)")
 	timeout := global.Duration("timeout", 0,
 		"abort the run after this duration, keeping partial results (global position only)")
+	httpAddr := global.String("http", "",
+		"serve live /metrics, /metrics.json, /progress, /healthz and /debug/pprof on `addr` (e.g. :8080; global position only)")
+	sampleEvery := global.Duration("sample", 0,
+		"metrics sampler interval (0 = 1s when -http is set, else off; global position only)")
+	progressEvery := global.Duration("progress", 0,
+		"emit an NDJSON progress heartbeat to stderr every `interval` (global position only)")
 	global.Usage = usage
 	if err := global.Parse(args); err != nil {
 		if err == flag.ErrHelp {
@@ -200,7 +224,81 @@ func runCtx(ctx context.Context, args []string, w io.Writer) (err error) {
 		}
 	}()
 
+	// Live observability plane. A process-wide Progress tracker is always
+	// armed alongside the collector (the stream engine's hooks are no-ops
+	// against an idle tracker), the sampler records periodic snapshots
+	// when -http or -sample asks for them, and -http serves everything
+	// live. All of it tears down before the telemetry export above runs,
+	// so a SIGINT or -timeout still flushes artifacts after the server
+	// and sampler goroutines have exited.
+	prog := telemetry.NewProgress()
+	telemetry.EnableProgress(prog)
+	defer telemetry.EnableProgress(nil)
+
+	var sampler *telemetry.Sampler
+	if *httpAddr != "" || *sampleEvery > 0 {
+		interval := *sampleEvery
+		if interval <= 0 {
+			interval = time.Second
+		}
+		sampler = telemetry.NewSampler(col, interval, 0)
+		sampler.Start()
+		defer sampler.Stop()
+	}
+
+	if *httpAddr != "" {
+		srv, srvErr := telemetry.NewServer(*httpAddr, col, sampler)
+		if srvErr != nil {
+			return srvErr
+		}
+		debugAddr.Store(srv.Addr())
+		fmt.Fprintf(os.Stderr, "twocs: debug server listening on http://%s\n", srv.Addr())
+		defer func() {
+			debugAddr.Store("")
+			// The run's ctx is likely already canceled here (that is how
+			// SIGINT and -timeout end a run); shutdown needs its own live
+			// deadline to drain in-flight scrapes.
+			sctx, cancel := context.WithTimeout(context.WithoutCancel(ctx), 2*time.Second)
+			defer cancel()
+			if sdErr := srv.Shutdown(sctx); sdErr != nil && err == nil {
+				err = sdErr
+			}
+		}()
+	}
+
+	if *progressEvery > 0 {
+		stopHeartbeats := startHeartbeats(prog, *progressEvery)
+		defer stopHeartbeats()
+	}
+
 	return dispatch(ctx, cmd, rest, w)
+}
+
+// startHeartbeats emits one NDJSON progress event to heartbeatSink
+// every interval until the returned stop function runs. Stop emits one
+// final event, so the stream's last line always reflects the finished
+// (or canceled) run.
+func startHeartbeats(p *telemetry.Progress, interval time.Duration) func() {
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+				_ = p.Snapshot().WriteHeartbeat(heartbeatSink)
+			}
+		}
+	}()
+	return func() {
+		close(stop)
+		<-done
+		_ = p.Snapshot().WriteHeartbeat(heartbeatSink)
+	}
 }
 
 func exportTelemetry(col *telemetry.Collector) error {
@@ -316,6 +414,13 @@ global flags:
   -metrics        print the telemetry metrics snapshot to stderr at exit
   -cpuprofile F   write a runtime/pprof CPU profile (global position only)
   -memprofile F   write a heap profile at exit (global position only)
+  -http ADDR      serve live /metrics (Prometheus), /metrics.json, /progress,
+                  /healthz and /debug/pprof on ADDR, e.g. :8080 (global
+                  position only)
+  -sample D       metrics sampler interval (default 1s when -http is set,
+                  off otherwise; global position only)
+  -progress D     emit an NDJSON progress heartbeat to stderr every D
+                  (global position only)
 
 exit status:
   0  success

@@ -98,6 +98,12 @@ func (a *Analyzer) StreamEvolutionGridCtx(ctx context.Context, hs, sls, tps []in
 		return err
 	}
 	total := int64(len(evos)) * int64(len(tasks))
+	// Live progress bracket: the active tracker (if any) learns the grid
+	// size up front and, after the sink's trailer is written, the same
+	// completion verdict the artifact carries — so /progress and the
+	// trailer tell one story, also for canceled or failed streams.
+	pr := telemetry.ActiveProgress()
+	pr.Begin("sweep-stream", total)
 	var rows int64
 	streamErr := parallel.StreamCtx(ctx, a.workers(), int(total), 0,
 		func(_ context.Context, i int) (stream.Row, error) {
@@ -125,12 +131,14 @@ func (a *Analyzer) StreamEvolutionGridCtx(ctx context.Context, hs, sls, tps []in
 			return nil
 		})
 	telemetry.Active().Count("core.stream.rows", rows)
-	closeErr := sink.Close(stream.Trailer{
+	trailer := stream.Trailer{
 		Rows:     rows,
 		Total:    total,
 		Complete: streamErr == nil && rows == total,
 		Reason:   trailerReason(streamErr),
-	})
+	}
+	closeErr := sink.Close(trailer)
+	pr.Finish(trailer.Complete, trailer.Reason)
 	if streamErr != nil {
 		return streamErr
 	}

@@ -128,6 +128,11 @@ var outputMethodNames = map[string]bool{
 	// NDJSON/CSV artifact in randomized order, breaking the sweep's
 	// byte-determinism contract.
 	"Emit": true,
+	// live observability writers: the Prometheus exposition, the
+	// /progress JSON body and the -progress NDJSON heartbeats are
+	// scraped and diffed like any other artifact — lines driven by a
+	// map range would reorder between scrapes.
+	"WritePrometheus": true, "WriteJSON": true, "WriteHeartbeat": true,
 }
 
 func bodyProducesOutput(body *ast.BlockStmt) bool {

@@ -110,3 +110,40 @@ func emitSortedOK(s rowSink, grid map[int]row) {
 		_ = s.Emit(grid[k])
 	}
 }
+
+// --- live observability writers (PR 8) ---
+
+type promWriter interface {
+	WritePrometheus(io.Writer) error
+	WriteJSON(io.Writer) error
+	WriteHeartbeat(io.Writer) error
+}
+
+func promPerKeyUnsorted(w io.Writer, snaps map[string]promWriter) {
+	for _, s := range snaps { // want "feeding formatted output"
+		_ = s.WritePrometheus(w)
+	}
+}
+
+func progressJSONPerKeyUnsorted(w io.Writer, snaps map[string]promWriter) {
+	for _, s := range snaps { // want "feeding formatted output"
+		_ = s.WriteJSON(w)
+	}
+}
+
+func heartbeatPerKeyUnsorted(w io.Writer, snaps map[string]promWriter) {
+	for _, s := range snaps { // want "feeding formatted output"
+		_ = s.WriteHeartbeat(w)
+	}
+}
+
+func promSortedOK(w io.Writer, snaps map[string]promWriter) {
+	var keys []string
+	for k := range snaps {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		_ = snaps[k].WritePrometheus(w)
+	}
+}

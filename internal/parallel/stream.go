@@ -67,6 +67,13 @@ func StreamCtx[T any](ctx context.Context, workers, n, chunk int, fn func(contex
 	tel := telemetry.Active()
 	tel.Count("parallel.stream.calls", 1)
 	tel.Count("parallel.stream.tasks", int64(n))
+	// Live progress: when a tracker is active, every emitted chunk
+	// advances the rows/chunks tallies and each worker reports the wall
+	// time it spent inside tasks — the /progress endpoint's raw
+	// material. A nil tracker makes each hook a no-op that performs no
+	// allocation, like the telemetry collector.
+	pr := telemetry.ActiveProgress()
+	pr.SetWorkers(workers)
 
 	if workers == 1 {
 		lane := tel.Lane("stream-worker 0")
@@ -77,15 +84,20 @@ func StreamCtx[T any](ctx context.Context, workers, n, chunk int, fn func(contex
 				hi = n
 			}
 			buf = buf[:0]
+			var busy time.Duration
 			for i := lo; i < hi; i++ {
 				if err := ctx.Err(); err != nil {
 					tel.Count("parallel.stream.canceled", 1)
+					pr.WorkerBusy(0, busy)
 					return flushPrefix(tel, emit, lo, buf, err)
 				}
 				sp := lane.StartIndexed("task", i)
 				v, err := runTask(ctx, fn, i)
-				tel.Observe("parallel.task.wall_ns", int64(sp.End()))
+				d := sp.End()
+				busy += d
+				tel.Observe("parallel.task.wall_ns", int64(d))
 				if err != nil {
+					pr.WorkerBusy(0, busy)
 					return flushPrefix(tel, emit, lo, buf, err)
 				}
 				buf = append(buf, v)
@@ -94,6 +106,9 @@ func StreamCtx[T any](ctx context.Context, workers, n, chunk int, fn func(contex
 			if err := emit(lo, buf); err != nil {
 				return err
 			}
+			pr.AddRows(int64(len(buf)))
+			pr.ChunkDone()
+			pr.WorkerBusy(0, busy)
 		}
 		return nil
 	}
@@ -141,11 +156,14 @@ func StreamCtx[T any](ctx context.Context, workers, n, chunk int, fn func(contex
 					hi = n
 				}
 				buf = buf[:0]
+				var busy time.Duration
 				var taskErr error
 				for i := lo; i < hi; i++ {
 					sp := lane.StartIndexed("task", i)
 					v, err := runTask(ctx, fn, i)
-					tel.Observe("parallel.task.wall_ns", int64(sp.End()))
+					d := sp.End()
+					busy += d
+					tel.Observe("parallel.task.wall_ns", int64(d))
 					if err != nil {
 						taskErr = err
 						// Stop new claims promptly; this chunk still
@@ -156,6 +174,7 @@ func StreamCtx[T any](ctx context.Context, workers, n, chunk int, fn func(contex
 					}
 					buf = append(buf, v)
 				}
+				pr.WorkerBusy(w, busy)
 
 				// Take this chunk's emission turn. Chunks are claimed
 				// monotonically, so every chunk below c is claimed and
@@ -182,6 +201,9 @@ func StreamCtx[T any](ctx context.Context, workers, n, chunk int, fn func(contex
 				if len(buf) > 0 {
 					emitErr = emit(lo, buf)
 					tel.Count("parallel.stream.rows", int64(len(buf)))
+					if emitErr == nil {
+						pr.AddRows(int64(len(buf)))
+					}
 				}
 				stop := true
 				switch {
@@ -191,6 +213,7 @@ func StreamCtx[T any](ctx context.Context, workers, n, chunk int, fn func(contex
 				case taskErr != nil:
 					streamErr, aborted = taskErr, true
 				default:
+					pr.ChunkDone()
 					turn++
 					stop = false
 				}
@@ -222,6 +245,7 @@ func flushPrefix[T any](tel *telemetry.Collector, emit func(int, []T) error, lo 
 			return err
 		}
 		tel.Count("parallel.stream.rows", int64(len(buf)))
+		telemetry.ActiveProgress().AddRows(int64(len(buf)))
 	}
 	return cause
 }

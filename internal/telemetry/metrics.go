@@ -99,29 +99,42 @@ func bucketOf(v int64) int {
 
 // CounterValue is one counter in a Snapshot.
 type CounterValue struct {
-	Name  string
-	Value int64
+	Name  string `json:"name"`
+	Value int64  `json:"value"`
 }
 
 // GaugeValue is one gauge in a Snapshot.
 type GaugeValue struct {
-	Name  string
-	Value float64
+	Name  string  `json:"name"`
+	Value float64 `json:"value"`
 }
 
 // Bucket is one occupied power-of-two histogram bucket: observations v
 // with Lo <= v <= Hi.
 type Bucket struct {
-	Lo, Hi int64
-	Count  int64
+	Lo    int64 `json:"lo"`
+	Hi    int64 `json:"hi"`
+	Count int64 `json:"count"`
 }
 
 // HistogramValue is one histogram in a Snapshot.
 type HistogramValue struct {
-	Name                 string
-	Count, Sum, Min, Max int64
+	Name  string `json:"name"`
+	Count int64  `json:"count"`
+	Sum   int64  `json:"sum"`
+	Min   int64  `json:"min"`
+	Max   int64  `json:"max"`
+	// P50/P95/P99 are bucket-interpolated quantile estimates (see
+	// quantile.go); Quantiled reports whether they are populated.
+	// Deterministic strips them alongside the gauges: the estimates
+	// derive from deterministic buckets, but their interpolation formula
+	// is not part of the byte-stability contract.
+	P50       int64 `json:"p50,omitempty"`
+	P95       int64 `json:"p95,omitempty"`
+	P99       int64 `json:"p99,omitempty"`
+	Quantiled bool  `json:"-"`
 	// Buckets lists only occupied buckets, ascending.
-	Buckets []Bucket
+	Buckets []Bucket `json:"buckets"`
 }
 
 // Mean returns the integer mean observation (0 for an empty histogram).
@@ -136,9 +149,20 @@ func (h HistogramValue) Mean() int64 {
 // section sorted by name — the deterministically ordered form every
 // exported artifact of this repo must take.
 type Snapshot struct {
-	Counters   []CounterValue
-	Gauges     []GaugeValue
-	Histograms []HistogramValue
+	Counters   []CounterValue   `json:"counters"`
+	Gauges     []GaugeValue     `json:"gauges"`
+	Histograms []HistogramValue `json:"histograms"`
+}
+
+// Counter returns the named counter's value and whether it is present.
+// Snapshot counters are sorted by name, so the lookup is a binary
+// search.
+func (s Snapshot) Counter(name string) (int64, bool) {
+	i := sort.Search(len(s.Counters), func(i int) bool { return s.Counters[i].Name >= name })
+	if i < len(s.Counters) && s.Counters[i].Name == name {
+		return s.Counters[i].Value, true
+	}
+	return 0, false
 }
 
 // Snapshot copies the current metrics, sorted by name within each
@@ -190,6 +214,7 @@ func (c *Collector) Snapshot() Snapshot {
 			}
 			hv.Buckets = append(hv.Buckets, b)
 		}
+		hv.quantiles()
 		s.Histograms = append(s.Histograms, hv)
 	}
 	return s
@@ -198,7 +223,9 @@ func (c *Collector) Snapshot() Snapshot {
 // Deterministic returns the subset of the snapshot that is guaranteed
 // byte-identical run to run and across worker counts: all gauges are
 // dropped (they summarize host timing), as is any counter or histogram
-// named with the WallSuffix convention. What remains — cache hit
+// named with the WallSuffix convention, and the surviving histograms
+// lose their quantile estimates (the interpolation formula is not part
+// of the stability contract; see quantile.go). What remains — cache hit
 // counts, ledger charges, simulated-duration histograms — is the part
 // the determinism tests assert on.
 func (s Snapshot) Deterministic() Snapshot {
@@ -210,6 +237,7 @@ func (s Snapshot) Deterministic() Snapshot {
 	}
 	for _, hv := range s.Histograms {
 		if !strings.HasSuffix(hv.Name, WallSuffix) {
+			hv.P50, hv.P95, hv.P99, hv.Quantiled = 0, 0, 0, false
 			out.Histograms = append(out.Histograms, hv)
 		}
 	}
@@ -232,8 +260,12 @@ func (s Snapshot) WriteMetrics(w io.Writer) error {
 		}
 	}
 	for _, hv := range s.Histograms {
-		if _, err := fmt.Fprintf(w, "hist    %-44s count=%d sum=%d min=%d max=%d mean=%d\n",
-			hv.Name, hv.Count, hv.Sum, hv.Min, hv.Max, hv.Mean()); err != nil {
+		q := ""
+		if hv.Quantiled {
+			q = fmt.Sprintf(" p50=%d p95=%d p99=%d", hv.P50, hv.P95, hv.P99)
+		}
+		if _, err := fmt.Fprintf(w, "hist    %-44s count=%d sum=%d min=%d max=%d mean=%d%s\n",
+			hv.Name, hv.Count, hv.Sum, hv.Min, hv.Max, hv.Mean(), q); err != nil {
 			return err
 		}
 	}

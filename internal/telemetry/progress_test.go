@@ -1,0 +1,188 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+func TestProgressNilSafe(t *testing.T) {
+	var p *Progress
+	// Every hook must be a no-op on the nil tracker.
+	p.Begin("x", 10)
+	p.SetWorkers(4)
+	p.AddRows(5)
+	p.ChunkDone()
+	p.WorkerBusy(1, time.Millisecond)
+	p.Finish(true, "")
+	if ps := p.Snapshot(); !snapshotIsZero(ps) {
+		t.Fatalf("nil Progress snapshot = %+v, want zero", ps)
+	}
+}
+
+func TestProgressUnbegunIsZero(t *testing.T) {
+	p := NewProgress()
+	if ps := p.Snapshot(); !snapshotIsZero(ps) {
+		t.Fatalf("un-Begun snapshot = %+v, want zero", ps)
+	}
+}
+
+func snapshotIsZero(ps ProgressSnapshot) bool {
+	return ps.Label == "" && ps.Total == 0 && ps.Rows == 0 && ps.Chunks == 0 &&
+		ps.Elapsed == 0 && ps.RowsPerSec == 0 && ps.ETA == 0 &&
+		!ps.Done && !ps.Complete && ps.Reason == "" && len(ps.Workers) == 0
+}
+
+func TestProgressLifecycle(t *testing.T) {
+	p := NewProgress()
+	p.Begin("sweep-stream", 100)
+	p.SetWorkers(2)
+	p.AddRows(40)
+	p.ChunkDone()
+	p.WorkerBusy(0, 3*time.Millisecond)
+	p.WorkerBusy(1, time.Millisecond)
+
+	ps := p.Snapshot()
+	if ps.Label != "sweep-stream" || ps.Total != 100 || ps.Rows != 40 || ps.Chunks != 1 {
+		t.Fatalf("mid-stream snapshot = %+v", ps)
+	}
+	if ps.Done {
+		t.Fatal("not finished but Done")
+	}
+	if len(ps.Workers) != 2 {
+		t.Fatalf("workers = %d, want 2", len(ps.Workers))
+	}
+	if ps.Workers[0].Busy != 3*time.Millisecond {
+		t.Fatalf("worker 0 busy = %v", ps.Workers[0].Busy)
+	}
+
+	p.Finish(false, "canceled")
+	done := p.Snapshot()
+	if !done.Done || done.Complete || done.Reason != "canceled" {
+		t.Fatalf("finished snapshot = %+v", done)
+	}
+	if done.ETA != 0 {
+		t.Fatalf("finished stream still has ETA %v", done.ETA)
+	}
+	// Finish freezes the clock: two post-run snapshots agree.
+	time.Sleep(2 * time.Millisecond)
+	if again := p.Snapshot(); again.Elapsed != done.Elapsed {
+		t.Fatalf("elapsed moved after Finish: %v then %v", done.Elapsed, again.Elapsed)
+	}
+}
+
+func TestProgressMonotonicRowsAndETA(t *testing.T) {
+	p := NewProgress()
+	p.Begin("g", 1000)
+	var lastRows, lastChunks int64
+	for i := 0; i < 20; i++ {
+		p.AddRows(50)
+		p.ChunkDone()
+		ps := p.Snapshot()
+		if ps.Rows < lastRows || ps.Chunks < lastChunks {
+			t.Fatalf("rows/chunks regressed: %d<%d or %d<%d", ps.Rows, lastRows, ps.Chunks, lastChunks)
+		}
+		if ps.ETA < 0 {
+			t.Fatalf("negative ETA %v", ps.ETA)
+		}
+		if ps.Rows > 0 && ps.Rows < ps.Total && ps.Elapsed > 0 && ps.RowsPerSec <= 0 {
+			t.Fatalf("rows flowing but RowsPerSec = %v", ps.RowsPerSec)
+		}
+		lastRows, lastChunks = ps.Rows, ps.Chunks
+	}
+	if lastRows != 1000 || lastChunks != 20 {
+		t.Fatalf("final rows=%d chunks=%d, want 1000/20", lastRows, lastChunks)
+	}
+}
+
+func TestProgressBeginResets(t *testing.T) {
+	p := NewProgress()
+	p.Begin("first", 10)
+	p.AddRows(10)
+	p.Finish(true, "")
+	p.Begin("second", 20)
+	ps := p.Snapshot()
+	if ps.Label != "second" || ps.Rows != 0 || ps.Done {
+		t.Fatalf("Begin did not reset: %+v", ps)
+	}
+}
+
+func TestEnableProgress(t *testing.T) {
+	if got := ActiveProgress(); got != nil {
+		t.Fatalf("progress tracking enabled at test start: %v", got)
+	}
+	p := NewProgress()
+	EnableProgress(p)
+	defer EnableProgress(nil)
+	if ActiveProgress() != p {
+		t.Fatal("ActiveProgress did not return the enabled tracker")
+	}
+	EnableProgress(nil)
+	if ActiveProgress() != nil {
+		t.Fatal("EnableProgress(nil) did not disable tracking")
+	}
+}
+
+func TestProgressWriteJSON(t *testing.T) {
+	p := NewProgress()
+	p.Begin("sweep-stream", 100)
+	p.SetWorkers(1)
+	p.AddRows(25)
+	p.WorkerBusy(0, time.Millisecond)
+
+	var buf bytes.Buffer
+	if err := p.Snapshot().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var got struct {
+		Label   string `json:"label"`
+		Total   int64  `json:"total"`
+		Rows    int64  `json:"rows"`
+		Done    bool   `json:"done"`
+		Workers []struct {
+			Worker int     `json:"worker"`
+			BusyS  float64 `json:"busy_s"`
+		} `json:"workers"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatalf("WriteJSON produced invalid JSON: %v\n%s", err, buf.String())
+	}
+	if got.Label != "sweep-stream" || got.Total != 100 || got.Rows != 25 || got.Done {
+		t.Fatalf("JSON body = %+v", got)
+	}
+	if len(got.Workers) != 1 || got.Workers[0].BusyS <= 0 {
+		t.Fatalf("workers in JSON = %+v", got.Workers)
+	}
+}
+
+func TestProgressWriteHeartbeat(t *testing.T) {
+	p := NewProgress()
+	p.Begin("sweep-stream", 10)
+	p.SetWorkers(2)
+	p.AddRows(10)
+	p.Finish(true, "")
+
+	var buf bytes.Buffer
+	if err := p.Snapshot().WriteHeartbeat(&buf); err != nil {
+		t.Fatal(err)
+	}
+	line := buf.String()
+	if line[len(line)-1] != '\n' {
+		t.Fatal("heartbeat is not newline-terminated NDJSON")
+	}
+	var got map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatalf("heartbeat is not valid JSON: %v\n%s", err, line)
+	}
+	if got["event"] != "progress" {
+		t.Fatalf("heartbeat event = %v, want progress", got["event"])
+	}
+	if got["complete"] != true || got["done"] != true {
+		t.Fatalf("heartbeat completion fields wrong: %v", got)
+	}
+	// The heartbeat line stays compact: no per-worker table.
+	if _, ok := got["workers"]; ok {
+		t.Fatal("heartbeat includes the per-worker table; /progress serves that")
+	}
+}

@@ -1,0 +1,127 @@
+package telemetry
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestQuantileEmptyAndBounds(t *testing.T) {
+	var empty HistogramValue
+	if got := empty.Quantile(0.5); got != 0 {
+		t.Fatalf("empty histogram Quantile(0.5) = %d, want 0", got)
+	}
+
+	c := NewCollector()
+	for v := int64(1); v <= 100; v++ {
+		c.Observe("h", v)
+	}
+	h := c.Snapshot().Histograms[0]
+	if got := h.Quantile(0); got != h.Min {
+		t.Fatalf("Quantile(0) = %d, want Min %d", got, h.Min)
+	}
+	if got := h.Quantile(-1); got != h.Min {
+		t.Fatalf("Quantile(-1) = %d, want Min %d", got, h.Min)
+	}
+	if got := h.Quantile(1); got != h.Max {
+		t.Fatalf("Quantile(1) = %d, want Max %d", got, h.Max)
+	}
+	if got := h.Quantile(2); got != h.Max {
+		t.Fatalf("Quantile(2) = %d, want Max %d", got, h.Max)
+	}
+}
+
+func TestQuantileOrderingAndRange(t *testing.T) {
+	c := NewCollector()
+	// A spread across several pow2 buckets, with repeats.
+	for _, v := range []int64{1, 2, 3, 5, 8, 8, 13, 21, 100, 1000, 5000, 5000, 9999} {
+		c.Observe("h", v)
+	}
+	h := c.Snapshot().Histograms[0]
+	if !h.Quantiled {
+		t.Fatal("snapshot histogram not quantiled")
+	}
+	if h.P50 > h.P95 || h.P95 > h.P99 {
+		t.Fatalf("quantiles out of order: p50=%d p95=%d p99=%d", h.P50, h.P95, h.P99)
+	}
+	for _, q := range []struct {
+		name string
+		v    int64
+	}{{"p50", h.P50}, {"p95", h.P95}, {"p99", h.P99}} {
+		if q.v < h.Min || q.v > h.Max {
+			t.Errorf("%s=%d outside observed [%d, %d]", q.name, q.v, h.Min, h.Max)
+		}
+	}
+}
+
+func TestQuantileSingleValueExact(t *testing.T) {
+	c := NewCollector()
+	c.Observe("h", 5)
+	c.Observe("h", 5)
+	c.Observe("h", 5)
+	h := c.Snapshot().Histograms[0]
+	// Min==Max==5 clamps every interpolated estimate to the exact value.
+	if h.P50 != 5 || h.P95 != 5 || h.P99 != 5 {
+		t.Fatalf("single-value quantiles = %d/%d/%d, want 5/5/5", h.P50, h.P95, h.P99)
+	}
+}
+
+func TestDeterministicStripsQuantiles(t *testing.T) {
+	c := NewCollector()
+	c.Observe("sim.hist", 100)
+	c.Observe("sim.hist", 200)
+	s := c.Snapshot()
+	if !s.Histograms[0].Quantiled {
+		t.Fatal("snapshot should carry quantile estimates")
+	}
+
+	d := s.Deterministic()
+	if len(d.Histograms) != 1 {
+		t.Fatalf("deterministic snapshot lost the histogram: %+v", d.Histograms)
+	}
+	h := d.Histograms[0]
+	if h.Quantiled || h.P50 != 0 || h.P95 != 0 || h.P99 != 0 {
+		t.Fatalf("Deterministic kept quantiles: %+v", h)
+	}
+	// Raw integer stats survive.
+	if h.Count != 2 || h.Sum != 300 {
+		t.Fatalf("Deterministic altered raw stats: %+v", h)
+	}
+}
+
+func TestWriteMetricsQuantileLine(t *testing.T) {
+	c := NewCollector()
+	c.Observe("h", 7)
+
+	var full bytes.Buffer
+	if err := c.Snapshot().WriteMetrics(&full); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(full.String(), "p50=7 p95=7 p99=7") {
+		t.Errorf("full snapshot missing quantile fields:\n%s", full.String())
+	}
+
+	var det bytes.Buffer
+	if err := c.Snapshot().Deterministic().WriteMetrics(&det); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(det.String(), "p50=") {
+		t.Errorf("deterministic dump leaked quantiles:\n%s", det.String())
+	}
+}
+
+func TestSnapshotCounterLookup(t *testing.T) {
+	c := NewCollector()
+	c.Count("b.mid", 2)
+	c.Count("a.first", 1)
+	c.Count("z.last", 3)
+	s := c.Snapshot()
+	for name, want := range map[string]int64{"a.first": 1, "b.mid": 2, "z.last": 3} {
+		if got, ok := s.Counter(name); !ok || got != want {
+			t.Errorf("Counter(%q) = %d, %v; want %d, true", name, got, ok, want)
+		}
+	}
+	if _, ok := s.Counter("missing"); ok {
+		t.Error("Counter(missing) reported present")
+	}
+}

@@ -1,0 +1,159 @@
+package telemetry
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// The debug server is the live window into a running analysis: where
+// -trace/-metrics flush at exit, the server answers *now*. It is
+// opt-in (the CLI's -http flag), binds one listener, and serves:
+//
+//	/            index of the endpoints below
+//	/healthz     liveness probe ("ok")
+//	/metrics     Prometheus text: collector metrics + runtime + progress
+//	/metrics.json  the same as JSON, plus the sampler's time series
+//	/progress    the active streaming sweep's ProgressSnapshot as JSON
+//	/debug/pprof/...  net/http/pprof profiles of the live process
+//
+// Shutdown is graceful and bounded by the caller's context; after it
+// returns, the serve goroutine has exited and the listener is closed —
+// the shutdown-hygiene tests hold the CLI to exactly that.
+
+// Server is one live debug/metrics endpoint over a Collector, an
+// optional Sampler, and the process-wide ActiveProgress.
+type Server struct {
+	col     *Collector
+	sampler *Sampler
+	srv     *http.Server
+	ln      net.Listener
+	done    chan struct{}
+}
+
+// NewServer binds addr (host:port; ":0" picks a free port) and starts
+// serving in a background goroutine. The caller owns shutdown: every
+// successful NewServer must be paired with a Shutdown. col and sampler
+// may be nil; the endpoints then serve runtime and progress data only.
+func NewServer(addr string, col *Collector, sampler *Sampler) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: debug server listen %s: %w", addr, err)
+	}
+	s := &Server{
+		col:     col,
+		sampler: sampler,
+		ln:      ln,
+		done:    make(chan struct{}),
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", s.handleIndex)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/metrics.json", s.handleMetricsJSON)
+	mux.HandleFunc("/progress", s.handleProgress)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	s.srv = &http.Server{
+		Handler:           mux,
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	go func() {
+		defer close(s.done)
+		// Serve returns ErrServerClosed after Shutdown; any other error
+		// means the listener died, which the next scrape will surface.
+		_ = s.srv.Serve(ln)
+	}()
+	return s, nil
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Shutdown gracefully stops the server: no new connections, in-flight
+// requests drain until ctx expires, and the serve goroutine has exited
+// when Shutdown returns.
+func (s *Server) Shutdown(ctx context.Context) error {
+	err := s.srv.Shutdown(ctx)
+	<-s.done
+	return err
+}
+
+func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprint(w, "twocs debug server\n\n"+
+		"  /healthz        liveness probe\n"+
+		"  /metrics        Prometheus text exposition\n"+
+		"  /metrics.json   metrics + runtime + sampler series as JSON\n"+
+		"  /progress       streaming sweep progress as JSON\n"+
+		"  /debug/pprof/   live profiles (heap, cpu, goroutine, ...)\n")
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := s.col.Snapshot().WritePrometheus(w); err != nil {
+		return
+	}
+	if err := ReadRuntimeStats().WritePrometheus(w); err != nil {
+		return
+	}
+	_ = ActiveProgress().Snapshot().WritePrometheus(w)
+}
+
+// seriesPoint is the compact per-sample line of /metrics.json: enough
+// to plot heap, goroutines and throughput over time without shipping
+// every full snapshot.
+type seriesPoint struct {
+	ElapsedS   float64 `json:"elapsed_s"`
+	HeapAlloc  uint64  `json:"heap_alloc_bytes"`
+	Goroutines int     `json:"goroutines"`
+	GCCycles   uint32  `json:"gc_cycles"`
+	Rows       int64   `json:"rows"`
+}
+
+func (s *Server) handleMetricsJSON(w http.ResponseWriter, _ *http.Request) {
+	var series []seriesPoint
+	for _, smp := range s.sampler.Samples() {
+		series = append(series, seriesPoint{
+			ElapsedS:   smp.Elapsed.Seconds(),
+			HeapAlloc:  smp.Runtime.HeapAllocBytes,
+			Goroutines: smp.Runtime.Goroutines,
+			GCCycles:   smp.Runtime.GCCycles,
+			Rows:       smp.Progress.Rows,
+		})
+	}
+	body := struct {
+		Metrics  Snapshot      `json:"metrics"`
+		Runtime  RuntimeStats  `json:"runtime"`
+		Progress progressJSON  `json:"progress"`
+		Series   []seriesPoint `json:"series,omitempty"`
+	}{
+		Metrics:  s.col.Snapshot(),
+		Runtime:  ReadRuntimeStats(),
+		Progress: ActiveProgress().Snapshot().wire(true),
+		Series:   series,
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(body)
+}
+
+func (s *Server) handleProgress(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = ActiveProgress().Snapshot().WriteJSON(w)
+}

@@ -1,0 +1,185 @@
+package telemetry
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// startTestServer brings up a debug server on a free port with a live
+// collector, sampler, and progress tracker, returning its base URL and
+// a cleanup that tears all three down.
+func startTestServer(t *testing.T) string {
+	t.Helper()
+	c := NewCollector()
+	c.Count("parallel.stream.rows", 123)
+	c.Observe("sim.step_ns", 1000)
+
+	p := NewProgress()
+	p.Begin("sweep-stream", 100)
+	p.SetWorkers(2)
+	p.AddRows(60)
+	p.ChunkDone()
+	EnableProgress(p)
+	t.Cleanup(func() { EnableProgress(nil) })
+
+	s := NewSampler(c, time.Hour, 8)
+	s.Start()
+	t.Cleanup(s.Stop)
+
+	srv, err := NewServer("127.0.0.1:0", c, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+	})
+	return "http://" + srv.Addr()
+}
+
+func get(t *testing.T, url string) (string, *http.Response) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read %s: %v", url, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d\n%s", url, resp.StatusCode, body)
+	}
+	return string(body), resp
+}
+
+func TestServerEndpoints(t *testing.T) {
+	base := startTestServer(t)
+
+	if body, _ := get(t, base+"/healthz"); strings.TrimSpace(body) != "ok" {
+		t.Errorf("/healthz = %q", body)
+	}
+
+	body, resp := get(t, base+"/metrics")
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+		t.Errorf("/metrics content type %q", ct)
+	}
+	for _, want := range []string{
+		"# TYPE twocs_parallel_stream_rows counter",
+		"twocs_parallel_stream_rows 123",
+		"# TYPE twocs_sim_step_ns histogram",
+		"twocs_sim_step_ns_bucket{le=\"+Inf\"} 1",
+		"twocs_sim_step_ns_count 1",
+		"twocs_runtime_goroutines",
+		"twocs_progress_rows 60",
+		"twocs_progress_total 100",
+		"twocs_progress_worker_busy_seconds{worker=\"0\"}",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q\n%s", want, body)
+		}
+	}
+
+	body, resp = get(t, base+"/metrics.json")
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "application/json") {
+		t.Errorf("/metrics.json content type %q", ct)
+	}
+	var mj struct {
+		Metrics Snapshot `json:"metrics"`
+		Runtime struct {
+			Goroutines int `json:"goroutines"`
+		} `json:"runtime"`
+		Progress struct {
+			Rows int64 `json:"rows"`
+		} `json:"progress"`
+		Series []struct {
+			Goroutines int `json:"goroutines"`
+		} `json:"series"`
+	}
+	if err := json.Unmarshal([]byte(body), &mj); err != nil {
+		t.Fatalf("/metrics.json invalid: %v\n%s", err, body)
+	}
+	if v, ok := mj.Metrics.Counter("parallel.stream.rows"); !ok || v != 123 {
+		t.Errorf("/metrics.json counter = %d, %v", v, ok)
+	}
+	if mj.Runtime.Goroutines <= 0 || mj.Progress.Rows != 60 || len(mj.Series) == 0 {
+		t.Errorf("/metrics.json body = %+v", mj)
+	}
+
+	body, _ = get(t, base+"/progress")
+	var pj struct {
+		Label string `json:"label"`
+		Rows  int64  `json:"rows"`
+	}
+	if err := json.Unmarshal([]byte(body), &pj); err != nil {
+		t.Fatalf("/progress invalid: %v\n%s", err, body)
+	}
+	if pj.Label != "sweep-stream" || pj.Rows != 60 {
+		t.Errorf("/progress = %+v", pj)
+	}
+
+	if body, _ = get(t, base+"/debug/pprof/"); !strings.Contains(body, "goroutine") {
+		t.Errorf("pprof index missing profiles:\n%s", body)
+	}
+
+	if body, _ = get(t, base+"/"); !strings.Contains(body, "/metrics") {
+		t.Errorf("index missing endpoint list:\n%s", body)
+	}
+}
+
+func TestServerNotFound(t *testing.T) {
+	base := startTestServer(t)
+	resp, err := http.Get(base + "/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("GET /nope status %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestServerShutdownLeavesNoGoroutines(t *testing.T) {
+	before := runtime.NumGoroutine()
+	srv, err := NewServer("127.0.0.1:0", NewCollector(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Exercise a request so a connection existed.
+	resp, err := http.Get("http://" + srv.Addr() + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	http.DefaultClient.CloseIdleConnections()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if now := runtime.NumGoroutine(); now > before {
+		t.Fatalf("goroutines grew from %d to %d after Shutdown", before, now)
+	}
+}
+
+func TestServerBadAddr(t *testing.T) {
+	if _, err := NewServer("256.256.256.256:0", nil, nil); err == nil {
+		t.Fatal("NewServer on bogus address succeeded")
+	}
+}

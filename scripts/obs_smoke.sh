@@ -1,0 +1,117 @@
+#!/bin/sh
+# obs_smoke.sh — the CI observability smoke: launch a multi-second
+# streaming sweep with the live plane armed (-http, -sample,
+# -progress), scrape the debug server MID-RUN, and hold the answers to
+# the wire contracts:
+#
+#   - /healthz answers "ok" while the sweep is still streaming;
+#   - /metrics is well-formed Prometheus text exposition (every sample
+#     line's metric has a # TYPE header, counters are integers) and the
+#     twocs_parallel_stream_rows counter is nonzero — proof the scrape
+#     landed mid-stream, not after;
+#   - /progress is valid JSON naming the sweep-stream label;
+#   - the -progress NDJSON heartbeats on stderr are valid JSON events;
+#   - the run itself still exits 0 with its artifact intact.
+#
+# Usage: scripts/obs_smoke.sh [binary]   (default: build ./cmd/twocs)
+set -eu
+
+BIN=${1:-}
+if [ -z "$BIN" ]; then
+    BIN=$(mktemp -d)/twocs
+    go build -o "$BIN" ./cmd/twocs
+fi
+
+WORK=$(mktemp -d)
+trap 'kill "$PID" 2>/dev/null || true; rm -rf "$WORK"' EXIT
+
+# ~2000 scenarios x 196 grid points ≈ 4*10^5 rows: long enough to
+# scrape mid-run on any CI box, short enough to finish in seconds.
+"$BIN" -http 127.0.0.1:0 -sample 100ms -progress 200ms \
+    sweep-stream -scenarios 2000 -out "$WORK/rows.ndjson" \
+    > "$WORK/stdout.txt" 2> "$WORK/stderr.txt" &
+PID=$!
+
+# The bound address is announced on stderr; poll for it.
+ADDR=
+i=0
+while [ $i -lt 100 ]; do
+    ADDR=$(sed -n 's#^twocs: debug server listening on http://##p' "$WORK/stderr.txt" | head -1)
+    [ -n "$ADDR" ] && break
+    kill -0 "$PID" 2>/dev/null || { echo "run died before serving"; cat "$WORK/stderr.txt"; exit 1; }
+    sleep 0.1
+    i=$((i + 1))
+done
+[ -n "$ADDR" ] || { echo "debug server never announced an address"; cat "$WORK/stderr.txt"; exit 1; }
+
+# Poll /metrics until the stream has emitted rows (a mid-run scrape).
+SCRAPED=0
+i=0
+while [ $i -lt 100 ]; do
+    if curl -sf "http://$ADDR/metrics" > "$WORK/metrics.txt" 2>/dev/null; then
+        ROWS=$(sed -n 's/^twocs_parallel_stream_rows \([0-9][0-9]*\)$/\1/p' "$WORK/metrics.txt")
+        if [ -n "$ROWS" ] && [ "$ROWS" -gt 0 ]; then SCRAPED=1; break; fi
+    fi
+    kill -0 "$PID" 2>/dev/null || break
+    sleep 0.1
+    i=$((i + 1))
+done
+[ "$SCRAPED" -eq 1 ] || { echo "never scraped a nonzero rows counter mid-run"; cat "$WORK/metrics.txt" 2>/dev/null || true; exit 1; }
+
+curl -sf "http://$ADDR/healthz" | grep -q '^ok$'
+curl -sf "http://$ADDR/progress" > "$WORK/progress.json"
+
+kill -0 "$PID" 2>/dev/null || { echo "run exited before the scrapes finished"; exit 1; }
+
+# Well-formed Prometheus text: every sample line's metric family has a
+# matching # TYPE header, and the scraped counter is an integer.
+python3 - "$WORK/metrics.txt" <<'EOF'
+import re, sys
+typed, sampled = set(), set()
+for line in open(sys.argv[1]):
+    line = line.rstrip("\n")
+    if not line:
+        continue
+    if line.startswith("# TYPE "):
+        parts = line.split()
+        assert len(parts) == 4 and parts[3] in ("counter", "gauge", "histogram"), line
+        typed.add(parts[2])
+    elif line.startswith("#"):
+        continue
+    else:
+        m = re.match(r'^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})? (-?[0-9.e+-]+|\+Inf|NaN)$', line)
+        assert m, f"malformed sample line: {line!r}"
+        name = m.group(1)
+        base = re.sub(r'_(bucket|sum|count|p50|p95|p99)$', '', name)
+        sampled.add((name, base))
+for name, base in sampled:
+    assert name in typed or base in typed, f"sample {name} has no # TYPE header"
+assert any(n == "twocs_parallel_stream_rows" for n, _ in sampled)
+EOF
+
+# /progress is valid JSON for the live sweep.
+python3 - "$WORK/progress.json" <<'EOF'
+import json, sys
+p = json.load(open(sys.argv[1]))
+assert p["label"] == "sweep-stream", p
+assert p["total"] > 0, p
+EOF
+
+wait "$PID"
+
+# Heartbeats: every NDJSON event line on stderr parses, and the final
+# one reports the completed stream.
+grep '"event":"progress"' "$WORK/stderr.txt" > "$WORK/heartbeats.ndjson"
+python3 - "$WORK/heartbeats.ndjson" <<'EOF'
+import json, sys
+events = [json.loads(l) for l in open(sys.argv[1])]
+assert events, "no heartbeat events on stderr"
+assert all(e["event"] == "progress" for e in events)
+last = events[-1]
+assert last["done"] and last["complete"], last
+EOF
+
+# The artifact is intact: complete trailer on the streamed rows.
+tail -1 "$WORK/rows.ndjson" | grep -q '"complete":true'
+
+echo "obs_smoke: OK (scraped live at $ADDR)"
