@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test race lint bench bench-sim bench-stream bench-json bench-gate bench-report obs-smoke clean
+.PHONY: build test race lint bench bench-sim bench-stream bench-json bench-gate bench-report obs-smoke serve-smoke serve-loadtest clean
 
 build:
 	$(GO) build ./...
@@ -63,6 +63,19 @@ bench-report:
 # same check CI runs.
 obs-smoke:
 	scripts/obs_smoke.sh
+
+# serve-smoke exercises the twocsd analysis daemon end to end: study
+# cache miss→hit with byte-identical bodies, a machine-checked NDJSON
+# sweep stream whose trailer agrees with /progress, and a graceful
+# SIGTERM shutdown — the same check CI runs.
+serve-smoke:
+	scripts/serve_smoke.sh
+
+# serve-loadtest hammers a local twocsd with identical study requests
+# and reports cold-vs-warm latency (p50/p95/max); every warm request
+# must be a cache hit (see EXPERIMENTS.md).
+serve-loadtest:
+	scripts/serve_loadtest.sh
 
 clean:
 	rm -f twocs twocslint

@@ -31,6 +31,8 @@ func cmdSweepStream(ctx context.Context, args []string, w io.Writer) error {
 	topK := fs.Int("topk", 0, "print the K best configurations by iteration time (0 = off)")
 	pareto := fs.Bool("pareto", false, "print the (iter time, comm fraction, memory) Pareto frontier")
 	marginals := fs.Bool("marginals", false, "print per-axis comm-fraction marginals")
+	partial := fs.Bool("partial", false,
+		"on interruption, back-fill never-computed grid points as canceled rows (null objectives) so the artifact keeps the full grid shape")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -86,7 +88,11 @@ func cmdSweepStream(ctx context.Context, args []string, w io.Writer) error {
 		sinks = append(sinks, marg)
 	}
 
-	streamErr := a.StreamEvolutionGridCtx(ctx, core.Table3Hs(), core.Table3SLs(), core.Table3TPs(),
+	streamFn := a.StreamEvolutionGridCtx
+	if *partial {
+		streamFn = a.StreamEvolutionGridPartialCtx
+	}
+	streamErr := streamFn(ctx, core.Table3Hs(), core.Table3SLs(), core.Table3TPs(),
 		*b, evos, stream.Multi(sinks...))
 	if *out != "-" {
 		fmt.Fprintf(os.Stderr, "twocs: streamed %d rows to %s\n", count.Rows, *out)
@@ -142,6 +148,14 @@ func addRowTo(t *report.Table, rank string, r stream.Row) {
 		r.MemBytes.String())
 }
 
+// renderCanceled notes the canceled rows a reducer skipped — only when
+// there were any, so complete-run output is byte-identical to before.
+func renderCanceled(w io.Writer, n int64) {
+	if n > 0 {
+		fmt.Fprintf(w, "  (%d canceled rows excluded from this digest)\n", n)
+	}
+}
+
 func renderTopK(w io.Writer, top *stream.TopK) error {
 	best := top.Best()
 	t := report.NewTable(fmt.Sprintf("Top %d configurations by projected iteration time", len(best)),
@@ -149,7 +163,11 @@ func renderTopK(w io.Writer, top *stream.TopK) error {
 	for i, r := range best {
 		addRowTo(t, fmt.Sprint(i+1), r)
 	}
-	return t.Render(w)
+	if err := t.Render(w); err != nil {
+		return err
+	}
+	renderCanceled(w, top.Canceled())
+	return nil
 }
 
 func renderPareto(w io.Writer, front *stream.Pareto) error {
@@ -159,7 +177,11 @@ func renderPareto(w io.Writer, front *stream.Pareto) error {
 	for i, r := range rows {
 		addRowTo(t, fmt.Sprint(i+1), r)
 	}
-	return t.Render(w)
+	if err := t.Render(w); err != nil {
+		return err
+	}
+	renderCanceled(w, front.Canceled())
+	return nil
 }
 
 func renderMarginals(w io.Writer, marg *stream.Marginals) error {
@@ -177,5 +199,6 @@ func renderMarginals(w io.Writer, marg *stream.Marginals) error {
 	for _, ax := range marg.Axes() {
 		fmt.Fprintf(w, "  %s spread of per-value means: %s\n", ax.Axis, report.Pct(ax.Spread()))
 	}
+	renderCanceled(w, marg.Canceled())
 	return nil
 }

@@ -1,0 +1,137 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"net/http"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// syncBuffer is a bytes.Buffer safe to read while the daemon
+// goroutine is still writing to it.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+// startDaemon runs runCtx on a free port and waits for the listener.
+// The returned stop function cancels the run context (the SIGTERM
+// path) and waits for a clean exit.
+func startDaemon(t *testing.T, args ...string) (string, func() error) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	var errw syncBuffer
+	done := make(chan error, 1)
+	go func() {
+		done <- runCtx(ctx, append([]string{"-addr", "127.0.0.1:0"}, args...), &errw)
+	}()
+	deadline := time.Now().Add(10 * time.Second)
+	for boundAddr() == "" {
+		select {
+		case err := <-done:
+			t.Fatalf("daemon exited during startup: %v\nstderr: %s", err, errw.String())
+		default:
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon never bound a listener\nstderr: %s", errw.String())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	addr := boundAddr()
+	if !strings.Contains(errw.String(), "twocsd: listening on http://") {
+		t.Fatalf("missing listen announcement: %s", errw.String())
+	}
+	return addr, func() error {
+		cancel()
+		select {
+		case err := <-done:
+			return err
+		case <-time.After(10 * time.Second):
+			t.Fatal("daemon did not exit after context cancel")
+			return nil
+		}
+	}
+}
+
+// TestDaemonLifecycle: the daemon starts, announces its address,
+// answers the API and the debug plane, and a canceled run context (the
+// SIGTERM path) shuts it down leak-free.
+func TestDaemonLifecycle(t *testing.T) {
+	before := runtime.NumGoroutine()
+	addr, stop := startDaemon(t)
+
+	resp, err := http.Get("http://" + addr + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("healthz: %d", resp.StatusCode)
+	}
+
+	resp, err = http.Post("http://"+addr+"/v1/study", "application/json",
+		strings.NewReader(`{"h":[1024],"sl":[1024],"tp":[4,8],"flopbw":[1]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 || !strings.Contains(string(body), `"scenarios"`) {
+		t.Fatalf("study: %d %s", resp.StatusCode, body)
+	}
+
+	resp, err = http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(metrics), "twocs_serve_cache_miss 1") {
+		t.Fatalf("/metrics lacks the study's cache miss:\n%s", metrics)
+	}
+
+	if err := stop(); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if boundAddr() != "" {
+		t.Fatal("listen address still published after shutdown")
+	}
+	// Leak check: give the runtime a moment, then require the goroutine
+	// count to settle back near the baseline.
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before+2 && time.Now().Before(deadline) {
+		time.Sleep(20 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > before+2 {
+		t.Fatalf("goroutines leaked: %d before, %d after shutdown", before, n)
+	}
+}
+
+func TestDaemonRejectsArgs(t *testing.T) {
+	var errw bytes.Buffer
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	if err := runCtx(ctx, []string{"-addr", "127.0.0.1:0", "stray"}, &errw); err == nil {
+		t.Fatal("stray positional argument accepted")
+	}
+	if err := runCtx(ctx, []string{"-no-such-flag"}, &errw); err == nil {
+		t.Fatal("unknown flag accepted")
+	}
+}

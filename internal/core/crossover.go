@@ -1,0 +1,58 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// Crossover is one (H, SL) row of a crossover table: the smallest
+// tensor-parallel degree at which the serialized communication fraction
+// reaches the target — the point past which scaling out buys less
+// compute than it costs in wire time under the scenario's
+// flop-vs-bandwidth ratio.
+type Crossover struct {
+	H, SL, B int
+	FlopVsBW float64
+	// Crossed reports whether any swept TP reached the target. When
+	// true, TP is the smallest such degree and Fraction its comm
+	// fraction; when false, TP is the largest swept degree and Fraction
+	// how close it came.
+	Crossed  bool
+	TP       int
+	Fraction float64
+}
+
+// CrossoverTable reduces one scenario's grid-ordered SerializedPoints
+// (the SerializedSweepCtx/SerializedEvolutionGridCtx row order: H-major,
+// then SL, then TP ascending) to per-(H, SL) crossover rows against
+// target, a comm fraction in (0, 1). Canceled back-filled points (NaN
+// fraction) are skipped, so a partial sweep yields a table over the
+// points that actually ran.
+func CrossoverTable(points []SerializedPoint, target float64) ([]Crossover, error) {
+	if target <= 0 || target >= 1 {
+		return nil, fmt.Errorf("core: crossover target %v outside (0,1)", target)
+	}
+	var out []Crossover
+	for _, p := range points {
+		if math.IsNaN(p.Fraction) || math.IsInf(p.Fraction, 0) {
+			continue
+		}
+		n := len(out)
+		if n == 0 || out[n-1].H != p.H || out[n-1].SL != p.SL {
+			out = append(out, Crossover{
+				H: p.H, SL: p.SL, B: p.B, FlopVsBW: p.FlopVsBW,
+				Crossed: p.Fraction >= target, TP: p.TP, Fraction: p.Fraction,
+			})
+			continue
+		}
+		if !out[n-1].Crossed {
+			// Still below target: advance to this (larger) TP, crossing
+			// if it reaches the target. Once crossed, the row is frozen
+			// at the smallest crossing degree.
+			out[n-1].TP = p.TP
+			out[n-1].Fraction = p.Fraction
+			out[n-1].Crossed = p.Fraction >= target
+		}
+	}
+	return out, nil
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 
 	"twocs/internal/hw"
 	"twocs/internal/model"
@@ -86,6 +87,24 @@ func (a *Analyzer) StreamSweepCtx(ctx context.Context, hs, sls, tps []int, b int
 // sink.Close ran with a trailer recording the row count and the reason,
 // so a truncated artifact is well-formed and says it is truncated.
 func (a *Analyzer) StreamEvolutionGridCtx(ctx context.Context, hs, sls, tps []int, b int, evos []hw.Evolution, sink stream.Sink) error {
+	return a.streamEvolutionGrid(ctx, hs, sls, tps, b, evos, sink, false)
+}
+
+// StreamEvolutionGridPartialCtx is StreamEvolutionGridCtx with the PR-4
+// best-effort contract extended to streams: when the sweep stops early
+// (cancellation, deadline, point failure), every grid point the workers
+// never computed is still emitted — with its coordinates and NaN
+// objectives, the materializing sweeps' back-fill convention — so the
+// artifact always has the full grid shape and downstream joins never
+// see a hole. The file sinks serialize such rows as explicit nulls with
+// "canceled":true (JSON has no NaN literal) and the reducers skip and
+// count them; the trailer's Canceled field totals them. The stream's
+// original error is still returned.
+func (a *Analyzer) StreamEvolutionGridPartialCtx(ctx context.Context, hs, sls, tps []int, b int, evos []hw.Evolution, sink stream.Sink) error {
+	return a.streamEvolutionGrid(ctx, hs, sls, tps, b, evos, sink, true)
+}
+
+func (a *Analyzer) streamEvolutionGrid(ctx context.Context, hs, sls, tps []int, b int, evos []hw.Evolution, sink stream.Sink, partial bool) error {
 	defer telemetry.Active().Start("core.StreamEvolutionGrid").End()
 	if sink == nil {
 		return fmt.Errorf("core: nil sink")
@@ -130,10 +149,42 @@ func (a *Analyzer) StreamEvolutionGridCtx(ctx context.Context, hs, sls, tps []in
 			rows += int64(len(vals))
 			return nil
 		})
+	// Best-effort back-fill: the computed prefix [0, rows) was already
+	// delivered in order; emit the never-computed suffix as coordinate
+	// rows with NaN objectives, so the artifact keeps the grid shape. A
+	// sink error here stops the back-fill but not the trailer — Close
+	// always runs.
+	var canceled int64
+	if partial && streamErr != nil {
+		nan := math.NaN()
+		for i := rows; i < total; i++ {
+			evo, t := evos[int(i)/len(tasks)], tasks[int(i)%len(tasks)]
+			err := sink.Emit(stream.Row{
+				Index: i,
+				Evo:   evo.Name, FlopVsBW: evo.FlopVsBW(),
+				H: t.h, SL: t.sl, B: b, TP: t.tp,
+				IterTime: units.Seconds(nan),
+				CommFrac: nan,
+				MemBytes: units.Bytes(nan),
+			})
+			if err != nil {
+				break
+			}
+			rows++
+			canceled++
+		}
+		// Keep the live tracker in step with the artifact: the back-filled
+		// rows were emitted, and /progress must agree with the trailer.
+		pr.AddRows(canceled)
+	}
 	telemetry.Active().Count("core.stream.rows", rows)
+	if canceled > 0 {
+		telemetry.Active().Count("core.stream.canceled_rows", canceled)
+	}
 	trailer := stream.Trailer{
 		Rows:     rows,
 		Total:    total,
+		Canceled: canceled,
 		Complete: streamErr == nil && rows == total,
 		Reason:   trailerReason(streamErr),
 	}

@@ -1,0 +1,82 @@
+package serve
+
+import (
+	"sync"
+	"time"
+)
+
+// Admission control is two independent gates, both answered before any
+// work is admitted so an overloaded daemon sheds load in microseconds
+// instead of queuing it into memory:
+//
+//   - a token bucket bounds the sustained request *rate* (refill) while
+//     allowing short bursts (capacity) — the shape inference-serving
+//     admission policies use, because dashboards poll in bursts;
+//   - an in-flight cap bounds *concurrency*: each admitted request
+//     holds one slot for its lifetime, so a flood of slow sweeps cannot
+//     pile up goroutines behind the analyzer.
+//
+// Rejections are cheap, counted, and honest: 429 with Retry-After.
+
+// tokenBucket is a standard leaky-bucket rate limiter. The clock is a
+// parameter (not time.Now) so tests drive it deterministically.
+type tokenBucket struct {
+	mu     sync.Mutex
+	rate   float64 // tokens per second; <= 0 disables the limiter
+	burst  float64 // bucket capacity
+	tokens float64
+	last   time.Time
+}
+
+// newTokenBucket returns a bucket refilling at rate tokens/second with
+// the given burst capacity, initially full. rate <= 0 disables it.
+func newTokenBucket(rate float64, burst int) *tokenBucket {
+	if burst < 1 {
+		burst = 1
+	}
+	return &tokenBucket{rate: rate, burst: float64(burst), tokens: float64(burst)}
+}
+
+// allow consumes one token if available at time now.
+func (b *tokenBucket) allow(now time.Time) bool {
+	if b.rate <= 0 {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !b.last.IsZero() {
+		b.tokens += now.Sub(b.last).Seconds() * b.rate
+		if b.tokens > b.burst {
+			b.tokens = b.burst
+		}
+	}
+	b.last = now
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}
+
+// inflightGate is the concurrency cap: a semaphore acquired without
+// blocking — admission rejects rather than queues.
+type inflightGate chan struct{}
+
+func newInflightGate(n int) inflightGate {
+	if n < 1 {
+		n = 1
+	}
+	return make(inflightGate, n)
+}
+
+// tryAcquire claims a slot if one is free; the caller must release().
+func (g inflightGate) tryAcquire() bool {
+	select {
+	case g <- struct{}{}:
+		return true
+	default:
+		return false
+	}
+}
+
+func (g inflightGate) release() { <-g }

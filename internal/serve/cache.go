@@ -1,0 +1,107 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+)
+
+// lruCache is the bounded result cache: canonical request hash →
+// rendered response body. Bounded two ways — entry count and total
+// body bytes — because study responses vary from hundreds of bytes to
+// megabytes with the requested grid; either bound alone would let the
+// other resource run away. Eviction is least-recently-used (Get
+// refreshes recency), the right policy for the service's access
+// pattern: dashboards and CI re-ask a small hot set of specs.
+type lruCache struct {
+	mu         sync.Mutex
+	maxEntries int
+	maxBytes   int64
+
+	bytes int64
+	ll    *list.List // front = most recent; values are *cacheEntry
+	items map[string]*list.Element
+}
+
+type cacheEntry struct {
+	key  string
+	body []byte
+}
+
+// newLRUCache builds a cache bounded by maxEntries and maxBytes; a
+// non-positive bound disables that dimension's cap, and both
+// non-positive yields a cache that stores nothing (every Put evicts
+// itself) — the "caching off" configuration.
+func newLRUCache(maxEntries int, maxBytes int64) *lruCache {
+	return &lruCache{
+		maxEntries: maxEntries,
+		maxBytes:   maxBytes,
+		ll:         list.New(),
+		items:      make(map[string]*list.Element),
+	}
+}
+
+// get returns the cached body for key, refreshing its recency. The
+// returned slice is shared and must not be mutated.
+func (c *lruCache) get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).body, true
+}
+
+// put inserts (or refreshes) key → body and evicts from the cold end
+// until both bounds hold again. A body larger than maxBytes on its own
+// is stored and immediately becomes the only candidate to evict on the
+// next insert — one oversized answer never wedges the cache.
+func (c *lruCache) put(key string, body []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		e := el.Value.(*cacheEntry)
+		c.bytes += int64(len(body)) - int64(len(e.body))
+		e.body = body
+		c.ll.MoveToFront(el)
+	} else {
+		c.items[key] = c.ll.PushFront(&cacheEntry{key: key, body: body})
+		c.bytes += int64(len(body))
+	}
+	for c.ll.Len() > 1 && c.over() {
+		el := c.ll.Back()
+		e := el.Value.(*cacheEntry)
+		c.ll.Remove(el)
+		delete(c.items, e.key)
+		c.bytes -= int64(len(e.body))
+	}
+	// With both bounds disabled-or-busted down to one entry, honor a
+	// "store nothing" configuration exactly.
+	if c.maxEntries == 0 && c.maxBytes == 0 && c.ll.Len() == 1 {
+		el := c.ll.Back()
+		e := el.Value.(*cacheEntry)
+		c.ll.Remove(el)
+		delete(c.items, e.key)
+		c.bytes -= int64(len(e.body))
+	}
+}
+
+// over reports whether either bound is exceeded (disabled bounds never
+// are).
+func (c *lruCache) over() bool {
+	if c.maxEntries > 0 && c.ll.Len() > c.maxEntries {
+		return true
+	}
+	if c.maxBytes > 0 && c.bytes > c.maxBytes {
+		return true
+	}
+	return false
+}
+
+// len returns the current entry count.
+func (c *lruCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

@@ -1,0 +1,57 @@
+package serve
+
+import (
+	"context"
+	"sync"
+)
+
+// flightGroup collapses concurrent identical requests into one
+// computation (the "singleflight" pattern): the first caller for a key
+// becomes the leader and runs fn; callers arriving while it runs wait
+// and share the leader's result. For the study cache this closes the
+// thundering-herd window between a cache miss and its fill — N
+// identical requests landing together cost one grid evaluation, and
+// every follower's body is byte-identical to the leader's because it
+// *is* the leader's.
+type flightGroup struct {
+	mu    sync.Mutex
+	calls map[string]*flightCall
+}
+
+type flightCall struct {
+	done chan struct{} // closed when body/err are final
+	body []byte
+	err  error
+}
+
+// do returns fn's result for key, running fn at most once across
+// concurrent callers. leader reports whether this caller ran fn —
+// the caller that should fill the cache and count the miss; followers
+// count as hits. A follower whose ctx dies while waiting unblocks with
+// ctx's error; the leader's computation continues for the others.
+func (g *flightGroup) do(ctx context.Context, key string, fn func() ([]byte, error)) (body []byte, leader bool, err error) {
+	g.mu.Lock()
+	if g.calls == nil {
+		g.calls = make(map[string]*flightCall)
+	}
+	if c, ok := g.calls[key]; ok {
+		g.mu.Unlock()
+		select {
+		case <-c.done:
+			return c.body, false, c.err
+		case <-ctx.Done():
+			return nil, false, ctx.Err()
+		}
+	}
+	c := &flightCall{done: make(chan struct{})}
+	g.calls[key] = c
+	g.mu.Unlock()
+
+	c.body, c.err = fn()
+
+	g.mu.Lock()
+	delete(g.calls, key)
+	g.mu.Unlock()
+	close(c.done)
+	return c.body, true, c.err
+}

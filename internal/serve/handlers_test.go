@@ -1,0 +1,344 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"twocs/internal/core"
+	"twocs/internal/hw"
+	"twocs/internal/model"
+	"twocs/internal/telemetry"
+)
+
+// sharedAnalyzer builds the standard BERT-baseline analyzer once for
+// the whole test binary; it is concurrency-safe after construction.
+var sharedAnalyzer = sync.OnceValues(func() (*core.Analyzer, error) {
+	e, err := model.LookupZoo("BERT")
+	if err != nil {
+		return nil, err
+	}
+	return core.NewAnalyzer(hw.MI210Cluster(1, 0), e.Config, 4)
+})
+
+func testServer(t *testing.T, cfg Config) (*Server, *telemetry.Collector, *httptest.Server) {
+	t.Helper()
+	a, err := sharedAnalyzer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := telemetry.NewCollector()
+	s := New(a, cfg, col, nil)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, col, ts
+}
+
+const smallStudy = `{"h":[1024],"sl":[1024],"tp":[4,8],"flopbw":[1],"target_fraction":0.5}`
+
+func postJSON(t *testing.T, url, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, b
+}
+
+func counter(t *testing.T, col *telemetry.Collector, name string) int64 {
+	t.Helper()
+	v, _ := col.Snapshot().Counter(name)
+	return v
+}
+
+// TestStudyCacheHit: the acceptance criterion — an identical second
+// request is served from cache, byte-identical, with the hit counter
+// incremented and the verdict in the response header.
+func TestStudyCacheHit(t *testing.T) {
+	s, col, ts := testServer(t, DefaultConfig())
+	r1, b1 := postJSON(t, ts.URL+"/v1/study", smallStudy)
+	if r1.StatusCode != 200 {
+		t.Fatalf("first study: %d %s", r1.StatusCode, b1)
+	}
+	if v := r1.Header.Get("X-Twocsd-Cache"); v != "miss" {
+		t.Fatalf("first request cache verdict %q", v)
+	}
+	// Equivalent but permuted/defaulted spec must hit the same entry.
+	r2, b2 := postJSON(t, ts.URL+"/v1/study", `{"tp":[8,4,8],"sl":[1024],"h":[1024],"b":1,"flopbw":[1]}`)
+	if r2.StatusCode != 200 {
+		t.Fatalf("second study: %d %s", r2.StatusCode, b2)
+	}
+	if v := r2.Header.Get("X-Twocsd-Cache"); v != "hit" {
+		t.Fatalf("second request cache verdict %q", v)
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Fatal("cached body differs from computed body")
+	}
+	if h := counter(t, col, "serve.cache.hit"); h != 1 {
+		t.Fatalf("cache hit counter = %d", h)
+	}
+	if m := counter(t, col, "serve.cache.miss"); m != 1 {
+		t.Fatalf("cache miss counter = %d", m)
+	}
+	if s.CacheLen() != 1 {
+		t.Fatalf("cache holds %d entries", s.CacheLen())
+	}
+
+	var resp StudyResponse
+	if err := json.Unmarshal(b1, &resp); err != nil {
+		t.Fatalf("study body is not JSON: %v", err)
+	}
+	if len(resp.Scenarios) != 1 || resp.Points != 2 {
+		t.Fatalf("unexpected study shape: %d scenarios, %d points", len(resp.Scenarios), resp.Points)
+	}
+	sc := resp.Scenarios[0]
+	if len(sc.Points) != 2 || len(sc.Crossover) != 1 {
+		t.Fatalf("scenario shape: %d points, %d crossover rows", len(sc.Points), len(sc.Crossover))
+	}
+	if resp.Spec.TargetFraction < 0.49 || resp.Spec.TargetFraction > 0.51 {
+		t.Fatalf("normalized spec not echoed: %+v", resp.Spec)
+	}
+}
+
+// TestStudyConcurrentIdentical: two identical requests in flight
+// together produce one computation (singleflight), byte-identical
+// bodies, and a hit+miss counter pair.
+func TestStudyConcurrentIdentical(t *testing.T) {
+	_, col, ts := testServer(t, DefaultConfig())
+	spec := `{"h":[2048],"sl":[1024],"tp":[4,8,16],"flopbw":[1,2]}`
+	var wg sync.WaitGroup
+	bodies := make([][]byte, 2)
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, b := postJSON(t, ts.URL+"/v1/study", spec)
+			if resp.StatusCode != 200 {
+				t.Errorf("request %d: %d %s", i, resp.StatusCode, b)
+			}
+			bodies[i] = b
+		}(i)
+	}
+	wg.Wait()
+	if !bytes.Equal(bodies[0], bodies[1]) {
+		t.Fatal("concurrent identical requests returned different bytes")
+	}
+	if m := counter(t, col, "serve.cache.miss"); m != 1 {
+		t.Fatalf("miss counter = %d, want 1 (one computation)", m)
+	}
+	if h := counter(t, col, "serve.cache.hit"); h != 1 {
+		t.Fatalf("hit counter = %d, want 1 (follower or cached)", h)
+	}
+}
+
+func TestStudyRejections(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MaxStudyPoints = 4
+	_, col, ts := testServer(t, cfg)
+
+	get, err := http.Get(ts.URL + "/v1/study")
+	if err != nil {
+		t.Fatal(err)
+	}
+	get.Body.Close()
+	if get.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET study: %d", get.StatusCode)
+	}
+
+	cases := []struct {
+		body string
+		want int
+	}{
+		{`not json`, 400},
+		{`{"hss":[1024]}`, 400},                // unknown field
+		{`{"h":[0]}`, 400},                     // invalid axis value
+		{`{"target_fraction":1.5}`, 400},       // target out of range
+		{`{"h":[1024],"sl":[1024]} junk`, 400}, // trailing garbage
+		{`{}`, 413},                            // full default grid > MaxStudyPoints
+	}
+	for _, c := range cases {
+		resp, b := postJSON(t, ts.URL+"/v1/study", c.body)
+		if resp.StatusCode != c.want {
+			t.Errorf("body %q: status %d (%s), want %d", c.body, resp.StatusCode, b, c.want)
+		}
+	}
+	if rej := counter(t, col, "serve.requests.rejected"); rej != int64(len(cases)) {
+		t.Fatalf("rejected counter = %d, want %d", rej, len(cases))
+	}
+}
+
+func TestAdmissionRateLimit(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Rate = 1e-9 // effectively never refills
+	cfg.Burst = 1
+	_, col, ts := testServer(t, cfg)
+	r1, _ := postJSON(t, ts.URL+"/v1/study", smallStudy)
+	if r1.StatusCode != 200 {
+		t.Fatalf("first request: %d", r1.StatusCode)
+	}
+	r2, _ := postJSON(t, ts.URL+"/v1/study", smallStudy)
+	if r2.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("second request: %d, want 429", r2.StatusCode)
+	}
+	if r2.Header.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After")
+	}
+	if rej := counter(t, col, "serve.admission.rejected"); rej != 1 {
+		t.Fatalf("admission.rejected = %d", rej)
+	}
+}
+
+// sweepTrailer is the NDJSON trailer line's schema.
+type sweepTrailer struct {
+	Trailer  bool   `json:"trailer"`
+	Rows     int64  `json:"rows"`
+	Total    int64  `json:"total"`
+	Canceled int64  `json:"canceled"`
+	Complete bool   `json:"complete"`
+	Reason   string `json:"reason"`
+}
+
+// scanSweep validates every line and returns (data lines, canceled
+// lines, trailer).
+func scanSweep(t *testing.T, body io.Reader) (int64, int64, sweepTrailer) {
+	t.Helper()
+	var lines, canceled int64
+	var tr sweepTrailer
+	sc := bufio.NewScanner(body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if !json.Valid(line) {
+			t.Fatalf("invalid JSON line: %s", line)
+		}
+		if strings.Contains(string(line), `"trailer":true`) {
+			if err := json.Unmarshal(line, &tr); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		lines++
+		if strings.Contains(string(line), `"canceled":true`) {
+			canceled++
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if !tr.Trailer {
+		t.Fatal("stream ended without a trailer")
+	}
+	return lines, canceled, tr
+}
+
+func TestSweepStreams(t *testing.T) {
+	_, _, ts := testServer(t, DefaultConfig())
+	resp, err := http.Post(ts.URL+"/v1/sweep", "application/json",
+		strings.NewReader(`{"h":[1024,2048],"sl":[1024],"tp":[4,8],"flopbw":[1,4]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("sweep: %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	lines, canceled, tr := scanSweep(t, resp.Body)
+	if !tr.Complete || tr.Reason != "" {
+		t.Fatalf("complete sweep has trailer %+v", tr)
+	}
+	if lines != 8 || tr.Rows != 8 || tr.Total != 8 {
+		t.Fatalf("rows: lines=%d trailer=%+v, want 8", lines, tr)
+	}
+	if canceled != 0 || tr.Canceled != 0 {
+		t.Fatalf("complete sweep reports canceled rows: %d/%d", canceled, tr.Canceled)
+	}
+}
+
+// TestSweepDeadlinePartial: a sweep whose deadline fires still returns
+// a well-formed artifact — full grid shape, every line valid JSON,
+// canceled rows marked and counted, trailer naming the deadline.
+func TestSweepDeadlinePartial(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.SweepTimeout = time.Nanosecond
+	_, col, ts := testServer(t, cfg)
+	resp, err := http.Post(ts.URL+"/v1/sweep", "application/json",
+		strings.NewReader(`{"h":[1024,2048],"sl":[1024],"tp":[4,8],"flopbw":[1,4]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("sweep: %d", resp.StatusCode)
+	}
+	lines, canceled, tr := scanSweep(t, resp.Body)
+	if tr.Complete {
+		t.Fatalf("deadline sweep claims completeness: %+v", tr)
+	}
+	if tr.Reason != "deadline exceeded" && tr.Reason != "canceled" {
+		t.Fatalf("trailer reason %q", tr.Reason)
+	}
+	if lines != tr.Total || tr.Rows != tr.Total {
+		t.Fatalf("partial sweep lost grid shape: lines=%d trailer=%+v", lines, tr)
+	}
+	if canceled != tr.Canceled || canceled == 0 {
+		t.Fatalf("canceled lines=%d, trailer=%d", canceled, tr.Canceled)
+	}
+	if p := counter(t, col, "serve.sweep.partial"); p != 1 {
+		t.Fatalf("sweep.partial counter = %d", p)
+	}
+}
+
+func TestSweepBusy(t *testing.T) {
+	s, col, ts := testServer(t, DefaultConfig())
+	s.sweepMu.Lock()
+	defer s.sweepMu.Unlock()
+	resp, _ := postJSON(t, ts.URL+"/v1/sweep", `{"h":[1024],"sl":[1024],"tp":[4]}`)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("busy sweep: %d, want 503", resp.StatusCode)
+	}
+	if b := counter(t, col, "serve.sweep.busy"); b != 1 {
+		t.Fatalf("sweep.busy counter = %d", b)
+	}
+}
+
+func TestIndexAndDebugPlane(t *testing.T) {
+	_, _, ts := testServer(t, DefaultConfig())
+	for path, want := range map[string]string{
+		"/":        "/v1/study",
+		"/healthz": "ok",
+		"/metrics": "twocs_",
+	} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != 200 || !strings.Contains(string(b), want) {
+			t.Errorf("%s: status %d, body lacks %q", path, resp.StatusCode, want)
+		}
+	}
+	resp, err := http.Get(ts.URL + "/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 404 {
+		t.Errorf("unknown path: %d, want 404", resp.StatusCode)
+	}
+}

@@ -15,6 +15,13 @@ const csvHeader = "i,evo,flopbw,h,sl,b,tp,iter_s,comm_frac,mem_bytes\n"
 // stream's completion status — so a truncated sweep still yields a
 // parseable file that says it is truncated. Like NDJSON, the emit path
 // reuses one scratch buffer and performs no steady-state allocations.
+//
+// Canceled-row contract: CSV has no NaN literal either, and emitting the
+// Go formatting "NaN" would round-trip as a string through most readers.
+// A canceled (back-filled) grid point therefore writes its non-finite
+// iter_s/comm_frac/mem_bytes as empty fields — the CSV convention for
+// "missing" — keeping its coordinate columns, and the trailer comment
+// carries `canceled=N` so the truncation is counted, not silent.
 type CSV struct {
 	w         *bufio.Writer
 	buf       []byte
@@ -58,11 +65,11 @@ func (c *CSV) Emit(r Row) error {
 	b = append(b, ',')
 	b = strconv.AppendInt(b, int64(r.TP), 10)
 	b = append(b, ',')
-	b = strconv.AppendFloat(b, float64(r.IterTime), 'g', -1, 64)
+	b = appendCSVFloat(b, float64(r.IterTime))
 	b = append(b, ',')
-	b = strconv.AppendFloat(b, float64(r.CommFrac), 'g', -1, 64)
+	b = appendCSVFloat(b, r.CommFrac)
 	b = append(b, ',')
-	b = strconv.AppendFloat(b, float64(r.MemBytes), 'g', -1, 64)
+	b = appendCSVFloat(b, float64(r.MemBytes))
 	b = append(b, '\n')
 	c.buf = b
 	_, err := c.w.Write(b)
@@ -81,6 +88,10 @@ func (c *CSV) Close(t Trailer) error {
 	b = strconv.AppendInt(b, t.Rows, 10)
 	b = append(b, " total="...)
 	b = strconv.AppendInt(b, t.Total, 10)
+	if t.Canceled > 0 {
+		b = append(b, " canceled="...)
+		b = strconv.AppendInt(b, t.Canceled, 10)
+	}
 	b = append(b, " complete="...)
 	b = strconv.AppendBool(b, t.Complete)
 	if t.Reason != "" {
@@ -95,6 +106,16 @@ func (c *CSV) Close(t Trailer) error {
 		return err
 	}
 	return c.w.Flush()
+}
+
+// appendCSVFloat appends v in strconv shortest-float form, or nothing —
+// an empty field, the CSV convention for a missing value — when v is
+// NaN or ±Inf (a canceled, back-filled grid point).
+func appendCSVFloat(b []byte, v float64) []byte {
+	if nonFinite(v) {
+		return b
+	}
+	return strconv.AppendFloat(b, v, 'g', -1, 64)
 }
 
 // appendCSVField appends s, quoting per RFC 4180 (doubled quotes) when

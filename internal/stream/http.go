@@ -1,0 +1,59 @@
+package stream
+
+import (
+	"net/http"
+)
+
+// HTTPNDJSON adapts the NDJSON writer to a chunked HTTP response: rows
+// serialize exactly as NewNDJSON would write them to a file, and every
+// flushEvery rows the sink pushes the buffered bytes through the
+// response writer and (when the transport supports it) flushes the HTTP
+// chunk, so a client watching a long sweep sees rows as they are
+// computed. The trailer object is the last line of the body — the same
+// self-describing artifact contract as the file sinks, which is what
+// lets a canceled or timed-out sweep end a 200 response honestly.
+type HTTPNDJSON struct {
+	nd         *NDJSON
+	fl         http.Flusher
+	flushEvery int64
+	pending    int64
+}
+
+// NewHTTPNDJSON returns an NDJSON sink streaming into w, flushing the
+// HTTP response every flushEvery rows (<= 0 selects 256). The caller
+// must have written headers (or lets the first flush imply 200).
+func NewHTTPNDJSON(w http.ResponseWriter, flushEvery int64) *HTTPNDJSON {
+	if flushEvery <= 0 {
+		flushEvery = 256
+	}
+	fl, _ := w.(http.Flusher)
+	return &HTTPNDJSON{nd: NewNDJSON(w), fl: fl, flushEvery: flushEvery}
+}
+
+// Emit implements Sink.
+func (h *HTTPNDJSON) Emit(r Row) error {
+	if err := h.nd.Emit(r); err != nil {
+		return err
+	}
+	h.pending++
+	if h.pending >= h.flushEvery {
+		h.pending = 0
+		if err := h.nd.Flush(); err != nil {
+			return err
+		}
+		if h.fl != nil {
+			h.fl.Flush()
+		}
+	}
+	return nil
+}
+
+// Close implements Sink: it writes the trailer, flushes the buffered
+// writer, and pushes the final HTTP chunk.
+func (h *HTTPNDJSON) Close(t Trailer) error {
+	err := h.nd.Close(t)
+	if h.fl != nil {
+		h.fl.Flush()
+	}
+	return err
+}

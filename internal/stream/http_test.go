@@ -1,0 +1,55 @@
+package stream
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"testing"
+)
+
+// TestHTTPNDJSONMatchesFileSink: the HTTP adapter's body must be
+// byte-identical to what NewNDJSON writes to a file — the transport
+// changes, the artifact does not.
+func TestHTTPNDJSONMatchesFileSink(t *testing.T) {
+	var want bytes.Buffer
+	file := NewNDJSON(&want)
+	rec := httptest.NewRecorder()
+	web := NewHTTPNDJSON(rec, 2)
+	rows := append(sampleRows(), canceledRow(3))
+	tr := Trailer{Rows: 4, Total: 4, Canceled: 1, Complete: false, Reason: "canceled"}
+	for _, r := range rows {
+		if err := file.Emit(r); err != nil {
+			t.Fatal(err)
+		}
+		if err := web.Emit(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := file.Close(tr); err != nil {
+		t.Fatal(err)
+	}
+	if err := web.Close(tr); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(want.Bytes(), rec.Body.Bytes()) {
+		t.Fatalf("HTTP body diverges from file artifact:\n%s\nvs\n%s", rec.Body.Bytes(), want.Bytes())
+	}
+	if !rec.Flushed {
+		t.Fatal("flushEvery=2 over 4 rows never flushed the HTTP response")
+	}
+}
+
+// TestHTTPNDJSONDefaultFlushEvery: a non-positive interval selects the
+// default instead of flushing every row (or never).
+func TestHTTPNDJSONDefaultFlushEvery(t *testing.T) {
+	rec := httptest.NewRecorder()
+	web := NewHTTPNDJSON(rec, 0)
+	if web.flushEvery != 256 {
+		t.Fatalf("default flushEvery = %d", web.flushEvery)
+	}
+	if err := web.Close(Trailer{Complete: true}); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Body.Len() == 0 {
+		t.Fatal("Close wrote nothing through the adapter")
+	}
+}

@@ -13,6 +13,12 @@ import (
 //
 // Output is byte-deterministic: fixed key order, strconv shortest-float
 // formatting, no map iteration anywhere.
+//
+// Canceled-row contract: JSON has no NaN/Inf literal, so a back-filled
+// canceled grid point (coordinates with NaN objectives) serializes its
+// non-finite iter_s/comm_frac/mem_bytes as null and carries an explicit
+// "canceled":true field — every emitted line is valid JSON for every
+// downstream parser, complete run or not.
 type NDJSON struct {
 	w   *bufio.Writer
 	buf []byte
@@ -44,16 +50,25 @@ func (n *NDJSON) Emit(r Row) error {
 	b = append(b, `,"tp":`...)
 	b = strconv.AppendInt(b, int64(r.TP), 10)
 	b = append(b, `,"iter_s":`...)
-	b = strconv.AppendFloat(b, float64(r.IterTime), 'g', -1, 64)
+	b = appendJSONFloat(b, float64(r.IterTime))
 	b = append(b, `,"comm_frac":`...)
-	b = strconv.AppendFloat(b, float64(r.CommFrac), 'g', -1, 64)
+	b = appendJSONFloat(b, r.CommFrac)
 	b = append(b, `,"mem_bytes":`...)
-	b = strconv.AppendFloat(b, float64(r.MemBytes), 'g', -1, 64)
+	b = appendJSONFloat(b, float64(r.MemBytes))
+	if !r.Finite() {
+		b = append(b, `,"canceled":true`...)
+	}
 	b = append(b, '}', '\n')
 	n.buf = b
 	_, err := n.w.Write(b)
 	return err
 }
+
+// Flush forces the buffered rows out to the underlying writer without
+// closing the stream — the live-streaming hook the HTTP adapter uses so
+// a slow sweep shows the client rows as they are computed, not one 64KB
+// buffer at a time.
+func (n *NDJSON) Flush() error { return n.w.Flush() }
 
 // Close implements Sink: it writes the trailer object and flushes.
 func (n *NDJSON) Close(t Trailer) error {
@@ -62,6 +77,10 @@ func (n *NDJSON) Close(t Trailer) error {
 	b = strconv.AppendInt(b, t.Rows, 10)
 	b = append(b, `,"total":`...)
 	b = strconv.AppendInt(b, t.Total, 10)
+	if t.Canceled > 0 {
+		b = append(b, `,"canceled":`...)
+		b = strconv.AppendInt(b, t.Canceled, 10)
+	}
 	b = append(b, `,"complete":`...)
 	b = strconv.AppendBool(b, t.Complete)
 	if t.Reason != "" {
@@ -74,6 +93,16 @@ func (n *NDJSON) Close(t Trailer) error {
 		return err
 	}
 	return n.w.Flush()
+}
+
+// appendJSONFloat appends v in strconv shortest-float form, or the JSON
+// null literal when v is NaN or ±Inf — which JSON cannot represent, and
+// which the streaming layer defines as a canceled (back-filled) value.
+func appendJSONFloat(b []byte, v float64) []byte {
+	if nonFinite(v) {
+		return append(b, "null"...)
+	}
+	return strconv.AppendFloat(b, v, 'g', -1, 64)
 }
 
 // appendJSONString appends s as a JSON string literal, escaping quotes,

@@ -12,6 +12,14 @@ import (
 // them are deterministic given the Sink ordering contract (rows arrive
 // in index order), so their digests are byte-stable at any worker
 // count. Attach them alongside a file writer with Multi.
+//
+// Canceled rows — back-filled grid points with NaN objectives — are
+// skipped by every reducer and counted via Canceled(). NaN compares
+// false against everything, so letting such a row through would append
+// it to the Pareto frontier undetected (nothing dominates it), let it
+// displace a real row in TopK (betterRow falls through to the Index
+// tie-break), and poison the Marginals means; skipping makes the
+// truncation visible in the digest instead of silently wrong.
 
 // ---------------------------------------------------------------------
 // Pareto frontier
@@ -30,6 +38,7 @@ import (
 // tree structure's constant factor.
 type Pareto struct {
 	frontier []Row
+	canceled int64
 }
 
 // NewPareto returns an empty frontier reducer.
@@ -48,6 +57,12 @@ func dominates(a, b Row) bool {
 //
 //lint:hotpath
 func (p *Pareto) Emit(r Row) error {
+	if !r.Finite() {
+		// NaN's all-false comparisons would make r undominatable: it
+		// would join the frontier and stay. Count it instead.
+		p.canceled++
+		return nil
+	}
 	keep := p.frontier[:0]
 	for _, f := range p.frontier {
 		if dominates(f, r) {
@@ -72,6 +87,9 @@ func (p *Pareto) Close(Trailer) error { return nil }
 
 // Size returns the current frontier cardinality.
 func (p *Pareto) Size() int { return len(p.frontier) }
+
+// Canceled returns the number of canceled (non-finite) rows skipped.
+func (p *Pareto) Canceled() int64 { return p.canceled }
 
 // Frontier returns the non-dominated rows sorted by (IterTime, Index) —
 // a deterministic order independent of arrival interleaving. The slice
@@ -106,7 +124,8 @@ type TopK struct {
 	// heap is a max-heap under betterRow: the *worst* retained row sits
 	// at heap[0], so one comparison decides whether a new row displaces
 	// anything.
-	heap []Row
+	heap     []Row
+	canceled int64
 }
 
 // NewTopK returns a reducer keeping the k best rows; k must be >= 1.
@@ -121,6 +140,13 @@ func NewTopK(k int) (*TopK, error) {
 //
 //lint:hotpath
 func (t *TopK) Emit(r Row) error {
+	if !r.Finite() {
+		// betterRow is false both ways on NaN, so the ranking would fall
+		// through to the Index tie-break and a canceled row could evict
+		// a real one. Count it instead.
+		t.canceled++
+		return nil
+	}
 	if len(t.heap) < t.k {
 		t.heap = append(t.heap, r)
 		t.siftUp(len(t.heap) - 1)
@@ -135,6 +161,9 @@ func (t *TopK) Emit(r Row) error {
 
 // Close implements Sink.
 func (t *TopK) Close(Trailer) error { return nil }
+
+// Canceled returns the number of canceled (non-finite) rows skipped.
+func (t *TopK) Canceled() int64 { return t.canceled }
 
 // Best returns the retained rows, best first. The slice is a copy.
 func (t *TopK) Best() []Row {
@@ -213,6 +242,7 @@ func (a *marginalAcc) add(r Row) {
 type Marginals struct {
 	byH, bySL, byB, byTP map[int]*marginalAcc
 	byEvo                map[string]*marginalAcc
+	canceled             int64
 }
 
 // NewMarginals returns an empty marginals reducer.
@@ -239,6 +269,12 @@ func addTo[K comparable](m map[K]*marginalAcc, k K, r Row) {
 //
 //lint:hotpath
 func (m *Marginals) Emit(r Row) error {
+	if !r.Finite() {
+		// One NaN in a sum makes the whole axis mean NaN. Count it
+		// instead; the per-value counts then total Rows - Canceled.
+		m.canceled++
+		return nil
+	}
 	addTo(m.byH, r.H, r)
 	addTo(m.bySL, r.SL, r)
 	addTo(m.byB, r.B, r)
@@ -249,6 +285,9 @@ func (m *Marginals) Emit(r Row) error {
 
 // Close implements Sink.
 func (m *Marginals) Close(Trailer) error { return nil }
+
+// Canceled returns the number of canceled (non-finite) rows skipped.
+func (m *Marginals) Canceled() int64 { return m.canceled }
 
 // MarginalValue is the digest of one axis value.
 type MarginalValue struct {

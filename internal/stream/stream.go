@@ -15,6 +15,7 @@ package stream
 
 import (
 	"fmt"
+	"math"
 
 	"twocs/internal/units"
 )
@@ -44,6 +45,21 @@ type Row struct {
 	MemBytes units.Bytes
 }
 
+// Finite reports whether every objective of the row is a finite number.
+// A canceled grid point is back-filled with its coordinates and NaN
+// objectives (the PR-4 partial-sweep convention), so !Finite() is the
+// streaming layer's definition of "canceled": the file writers serialize
+// such rows as explicit nulls and the reducers skip and count them
+// instead of letting NaN's all-false comparisons poison their digests.
+func (r Row) Finite() bool {
+	return !nonFinite(float64(r.IterTime)) &&
+		!nonFinite(r.CommFrac) &&
+		!nonFinite(float64(r.MemBytes))
+}
+
+// nonFinite reports NaN or ±Inf.
+func nonFinite(v float64) bool { return math.IsNaN(v) || math.IsInf(v, 0) }
+
 // Trailer summarizes a finished stream. Every sink receives it in
 // Close, and the file writers serialize it as a final trailer row, so
 // a truncated sweep (cancellation, task failure) leaves an artifact
@@ -52,7 +68,11 @@ type Trailer struct {
 	// Rows is the number of rows emitted; Total the grid size the sweep
 	// intended.
 	Rows, Total int64
-	// Complete reports Rows == Total with no error.
+	// Canceled counts emitted rows that were back-filled for grid points
+	// the sweep never computed (coordinates with NaN objectives). It is
+	// nonzero only for best-effort partial streams; Rows includes them.
+	Canceled int64
+	// Complete reports Rows == Total with no error and no canceled rows.
 	Complete bool
 	// Reason is empty for a complete stream, otherwise why it stopped
 	// ("canceled", "deadline exceeded", or an error message).

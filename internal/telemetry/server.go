@@ -28,11 +28,38 @@ import (
 // Server is one live debug/metrics endpoint over a Collector, an
 // optional Sampler, and the process-wide ActiveProgress.
 type Server struct {
+	debugHandlers
+	srv  *http.Server
+	ln   net.Listener
+	done chan struct{}
+}
+
+// debugHandlers binds the debug endpoints to their data sources. It is
+// shared between the CLI's standalone debug server and any service mux
+// that mounts the same endpoints beside its own (see RegisterDebug) —
+// the twocsd daemon's /metrics is this code.
+type debugHandlers struct {
 	col     *Collector
 	sampler *Sampler
-	srv     *http.Server
-	ln      net.Listener
-	done    chan struct{}
+}
+
+// RegisterDebug installs the live debug endpoints — /healthz, /metrics
+// (Prometheus text), /metrics.json (plus the sampler's time series),
+// /progress, and /debug/pprof/... — on mux. col and sampler may be nil;
+// the endpoints then serve runtime and progress data only. This is how
+// a long-running service (twocsd) exposes the same observability plane
+// as the CLI's -http flag, on its own mux beside its API routes.
+func RegisterDebug(mux *http.ServeMux, col *Collector, sampler *Sampler) {
+	h := debugHandlers{col: col, sampler: sampler}
+	mux.HandleFunc("/healthz", h.handleHealthz)
+	mux.HandleFunc("/metrics", h.handleMetrics)
+	mux.HandleFunc("/metrics.json", h.handleMetricsJSON)
+	mux.HandleFunc("/progress", h.handleProgress)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 }
 
 // NewServer binds addr (host:port; ":0" picks a free port) and starts
@@ -45,22 +72,13 @@ func NewServer(addr string, col *Collector, sampler *Sampler) (*Server, error) {
 		return nil, fmt.Errorf("telemetry: debug server listen %s: %w", addr, err)
 	}
 	s := &Server{
-		col:     col,
-		sampler: sampler,
-		ln:      ln,
-		done:    make(chan struct{}),
+		debugHandlers: debugHandlers{col: col, sampler: sampler},
+		ln:            ln,
+		done:          make(chan struct{}),
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/", s.handleIndex)
-	mux.HandleFunc("/healthz", s.handleHealthz)
-	mux.HandleFunc("/metrics", s.handleMetrics)
-	mux.HandleFunc("/metrics.json", s.handleMetricsJSON)
-	mux.HandleFunc("/progress", s.handleProgress)
-	mux.HandleFunc("/debug/pprof/", pprof.Index)
-	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
-	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	RegisterDebug(mux, col, sampler)
 	s.srv = &http.Server{
 		Handler:           mux,
 		ReadHeaderTimeout: 5 * time.Second,
@@ -100,12 +118,12 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 		"  /debug/pprof/   live profiles (heap, cpu, goroutine, ...)\n")
 }
 
-func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+func (s debugHandlers) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	fmt.Fprintln(w, "ok")
 }
 
-func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+func (s debugHandlers) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	if err := s.col.Snapshot().WritePrometheus(w); err != nil {
 		return
@@ -127,7 +145,7 @@ type seriesPoint struct {
 	Rows       int64   `json:"rows"`
 }
 
-func (s *Server) handleMetricsJSON(w http.ResponseWriter, _ *http.Request) {
+func (s debugHandlers) handleMetricsJSON(w http.ResponseWriter, _ *http.Request) {
 	var series []seriesPoint
 	for _, smp := range s.sampler.Samples() {
 		series = append(series, seriesPoint{
@@ -153,7 +171,7 @@ func (s *Server) handleMetricsJSON(w http.ResponseWriter, _ *http.Request) {
 	_ = json.NewEncoder(w).Encode(body)
 }
 
-func (s *Server) handleProgress(w http.ResponseWriter, _ *http.Request) {
+func (s debugHandlers) handleProgress(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	_ = ActiveProgress().Snapshot().WriteJSON(w)
 }

@@ -1,0 +1,92 @@
+#!/bin/sh
+# serve_loadtest.sh — hammer a twocsd daemon with identical /v1/study
+# requests and report cold-vs-warm latency. The first request pays for
+# the grid walk (cache miss); every subsequent one must be served from
+# the LRU cache, so the warm distribution is the service's floor. The
+# script reports p50/p95/max for the warm phase, asserts every warm
+# request was a cache hit with a body identical to the first, and
+# cross-checks the hit counter on /metrics.
+#
+# Usage: scripts/serve_loadtest.sh [requests] [binary]
+#   requests  warm-phase request count (default 200)
+#   binary    twocsd binary (default: build ./cmd/twocsd)
+set -eu
+
+N=${1:-200}
+BIN=${2:-}
+if [ -z "$BIN" ]; then
+    BIN=$(mktemp -d)/twocsd
+    go build -o "$BIN" ./cmd/twocsd
+fi
+
+WORK=$(mktemp -d)
+trap 'kill "$PID" 2>/dev/null || true; rm -rf "$WORK"' EXIT
+
+# Generous admission so the load test measures the cache, not the
+# token bucket.
+"$BIN" -addr 127.0.0.1:0 -rate 100000 -burst 100000 2> "$WORK/stderr.txt" &
+PID=$!
+
+ADDR=
+i=0
+while [ $i -lt 100 ]; do
+    ADDR=$(sed -n 's#^twocsd: listening on http://##p' "$WORK/stderr.txt" | head -1)
+    [ -n "$ADDR" ] && break
+    kill -0 "$PID" 2>/dev/null || { echo "daemon died during startup"; cat "$WORK/stderr.txt"; exit 1; }
+    sleep 0.1
+    i=$((i + 1))
+done
+[ -n "$ADDR" ] || { echo "daemon never announced an address"; cat "$WORK/stderr.txt"; exit 1; }
+
+python3 - "$ADDR" "$N" <<'EOF'
+import json, sys, time, urllib.request
+
+addr, n = sys.argv[1], int(sys.argv[2])
+spec = json.dumps({"h": [1024, 2048, 4096], "sl": [1024, 2048],
+                   "tp": [4, 8, 16, 32], "flopbw": [1, 2, 10]}).encode()
+
+def study():
+    req = urllib.request.Request(f"http://{addr}/v1/study", data=spec,
+                                 headers={"Content-Type": "application/json"})
+    t0 = time.perf_counter()
+    with urllib.request.urlopen(req) as resp:
+        body = resp.read()
+        cache = resp.headers.get("X-Twocsd-Cache")
+    return (time.perf_counter() - t0) * 1e3, cache, body
+
+cold_ms, cache, first = study()
+assert cache == "miss", f"first request was {cache!r}, want miss"
+
+warm, misses = [], 0
+for _ in range(n):
+    ms, cache, body = study()
+    warm.append(ms)
+    if cache != "hit":
+        misses += 1
+    assert body == first, "warm body diverges from the computed one"
+assert misses == 0, f"{misses}/{n} warm requests missed the cache"
+
+warm.sort()
+p50 = warm[len(warm) // 2]
+p95 = warm[min(len(warm) - 1, int(len(warm) * 0.95))]
+print(f"cold (miss):  {cold_ms:8.2f} ms")
+print(f"warm (hit) over {n} requests:")
+print(f"  p50 {p50:8.2f} ms   p95 {p95:8.2f} ms   max {warm[-1]:8.2f} ms")
+
+with urllib.request.urlopen(f"http://{addr}/metrics") as resp:
+    metrics = resp.read().decode()
+for line in metrics.splitlines():
+    if line.startswith("twocs_serve_cache_hit "):
+        hits = int(line.split()[1])
+        assert hits >= n, f"/metrics hit counter {hits} < {n}"
+        break
+else:
+    raise AssertionError("twocs_serve_cache_hit missing from /metrics")
+print(f"/metrics: twocs_serve_cache_hit {hits}")
+EOF
+
+kill -TERM "$PID"
+STATUS=0
+wait "$PID" || STATUS=$?
+[ "$STATUS" -eq 0 ] || { echo "SIGTERM exit status $STATUS, want 0"; exit 1; }
+echo "serve_loadtest: OK"
