@@ -1,0 +1,124 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"twocs/internal/serve"
+	"twocs/internal/shardmap"
+	"twocs/internal/stream"
+)
+
+// cmdSweepFan is sweep-stream scaled out: the same design-space grid,
+// fanned over a fleet of twocsd replicas as contiguous [lo,hi) row
+// shards and re-assembled locally in strict grid order. The NDJSON/CSV
+// artifact is byte-identical to a single node's sweep at any replica
+// count and any -shard-rows, including after a replica dies mid-run
+// (its shard's remaining range resumes on a healthy one). Digests are
+// reduced per shard and folded together with the reducers' Merge
+// algebra rather than re-streaming every row through one chain.
+func cmdSweepFan(ctx context.Context, args []string, w io.Writer) error {
+	fs := newFlagSet("sweep-fan")
+	replicas := fs.String("replicas", "", "comma-separated twocsd base URLs (required), e.g. http://host1:8080,http://host2:8080")
+	modelName := fs.String("model", "", "zoo model to sweep (default: the replicas' default, BERT)")
+	shardRows := fs.Int64("shard-rows", shardmap.DefaultShardRows, "rows per shard (the unit of retry and buffering)")
+	retries := fs.Int("retries", 4, "attempts per shard before the sweep aborts")
+	out := fs.String("out", "-", "row destination: a file path, or - for stdout")
+	format := fs.String("format", "ndjson", "row format: ndjson or csv")
+	b := fs.Int("b", 1, "batch size")
+	scenarios := fs.Int("scenarios", 0,
+		"flop-vs-bw scenario count, evenly spanning 1..flopbw-max (0 = the paper's 1x/2x/4x)")
+	flopbwMax := fs.Float64("flopbw-max", 4, "largest flop-vs-bw ratio when -scenarios is set")
+	topK := fs.Int("topk", 0, "print the K best configurations by iteration time (0 = off)")
+	pareto := fs.Bool("pareto", false, "print the (iter time, comm fraction, memory) Pareto frontier")
+	marginals := fs.Bool("marginals", false, "print per-axis comm-fraction marginals")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *format != "ndjson" && *format != "csv" {
+		return fmt.Errorf("unknown -format %q (want ndjson or csv)", *format)
+	}
+	if *topK < 0 {
+		return fmt.Errorf("negative -topk %d", *topK)
+	}
+	var urls []string
+	for _, u := range strings.Split(*replicas, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			urls = append(urls, u)
+		}
+	}
+	if len(urls) == 0 {
+		return fmt.Errorf("sweep-fan needs -replicas (comma-separated twocsd base URLs)")
+	}
+	ratios, err := ratioList(*scenarios, *flopbwMax)
+	if err != nil {
+		return err
+	}
+
+	// Axes stay nil: the replicas fill in the paper's Table 3 grid, and
+	// /v1/plan echoes the normalized spec back so every shard request
+	// carries the identical (hence identically cached) grid.
+	req := serve.SweepRequest{GridSpec: serve.GridSpec{
+		B: *b, FlopVsBW: ratios, Model: *modelName,
+	}}
+	coord, err := shardmap.NewCoordinator(shardmap.Config{
+		Replicas:    urls,
+		ShardRows:   *shardRows,
+		MaxAttempts: *retries,
+		TopK:        max(*topK, 1),
+	})
+	if err != nil {
+		return err
+	}
+
+	rowDst := w
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		rowDst = f
+	}
+	var writer stream.Sink
+	if *format == "csv" {
+		writer = stream.NewCSV(rowDst)
+	} else {
+		writer = stream.NewNDJSON(rowDst)
+	}
+
+	start := time.Now()
+	res, sweepErr := coord.Sweep(ctx, req, writer)
+	elapsed := time.Since(start)
+	if res != nil && *out != "-" {
+		fmt.Fprintf(os.Stderr, "twocs: fanned %d rows over %d replicas to %s (%d shards, %d retries, %d retired, %.0f rows/s)\n",
+			res.Rows, len(urls), *out, res.Shards, res.Retries, res.Retired,
+			float64(res.Rows)/elapsed.Seconds())
+	}
+	if res == nil {
+		return sweepErr
+	}
+
+	// Digests summarize whatever ordered prefix the sink received, just
+	// like sweep-stream's.
+	if *topK > 0 {
+		if err := renderTopK(w, res.Digests.TopK); err != nil {
+			return err
+		}
+	}
+	if *pareto {
+		if err := renderPareto(w, res.Digests.Pareto); err != nil {
+			return err
+		}
+	}
+	if *marginals {
+		if err := renderMarginals(w, res.Digests.Marginals); err != nil {
+			return err
+		}
+	}
+	return sweepErr
+}

@@ -1,0 +1,94 @@
+package main
+
+import (
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"twocs/internal/core"
+	"twocs/internal/hw"
+	"twocs/internal/model"
+	"twocs/internal/serve"
+)
+
+// newFanReplica spins an in-process twocsd-equivalent server and
+// returns its base URL.
+func newFanReplica(t *testing.T) string {
+	t.Helper()
+	e, err := model.LookupZoo("BERT")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := core.NewAnalyzer(hw.MI210Cluster(1, 0), e.Config, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(serve.New(a, serve.DefaultConfig(), nil, nil).Handler())
+	t.Cleanup(ts.Close)
+	return ts.URL
+}
+
+// TestSweepFanReplicaInvariance is the fan-out acceptance gate: the
+// NDJSON artifact and the digest tables of `twocs sweep-fan` must be
+// byte-identical to `twocs sweep-stream` — and to themselves — at 1, 2
+// and 3 replicas and at shard sizes that do and do not divide the grid.
+func TestSweepFanReplicaInvariance(t *testing.T) {
+	dir := t.TempDir()
+	digestFlags := []string{"-scenarios", "1", "-topk", "3", "-pareto", "-marginals"}
+
+	goldenPath := filepath.Join(dir, "single.ndjson")
+	goldenOut := runCmd(t, append([]string{"sweep-stream", "-out", goldenPath}, digestFlags...)...)
+	golden, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var urls []string
+	for replicas := 1; replicas <= 3; replicas++ {
+		urls = append(urls, newFanReplica(t))
+		for _, shardRows := range []string{"37", "512"} {
+			path := filepath.Join(dir, "fan.ndjson")
+			out := runCmd(t, append([]string{"sweep-fan",
+				"-replicas", strings.Join(urls, ","),
+				"-shard-rows", shardRows,
+				"-out", path}, digestFlags...)...)
+			rows, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(rows) != string(golden) {
+				t.Fatalf("replicas=%d shard-rows=%s: fan artifact differs from sweep-stream's",
+					replicas, shardRows)
+			}
+			if out != goldenOut {
+				t.Fatalf("replicas=%d shard-rows=%s: fan digests differ from sweep-stream's:\n--- sweep-stream ---\n%s\n--- sweep-fan ---\n%s",
+					replicas, shardRows, goldenOut, out)
+			}
+		}
+	}
+	if !strings.Contains(goldenOut, "Top 3 configurations") {
+		t.Fatalf("digest tables missing:\n%s", goldenOut)
+	}
+}
+
+// TestSweepFanRejectsUnknownModel: the replica's 400 (naming the valid
+// zoo) surfaces as the subcommand's error.
+func TestSweepFanRejectsUnknownModel(t *testing.T) {
+	url := newFanReplica(t)
+	var b strings.Builder
+	err := run([]string{"sweep-fan", "-replicas", url, "-model", "BERT-XXL"}, &b)
+	if err == nil || !strings.Contains(err.Error(), "unknown model") {
+		t.Fatalf("err = %v, want an unknown-model rejection", err)
+	}
+}
+
+// TestSweepFanRequiresReplicas: the flag is mandatory.
+func TestSweepFanRequiresReplicas(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"sweep-fan"}, &b); err == nil ||
+		!strings.Contains(err.Error(), "-replicas") {
+		t.Fatalf("err = %v, want a -replicas requirement", err)
+	}
+}

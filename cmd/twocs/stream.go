@@ -119,25 +119,42 @@ func cmdSweepStream(ctx context.Context, args []string, w io.Writer) error {
 	return streamErr
 }
 
-// scenarioList expands the -scenarios/-flopbw-max flags: 0 keeps the
-// paper's three points; N >= 1 spans [1, max] with N evenly spaced
-// flop-vs-bw ratios (N=1 is just max).
-func scenarioList(n int, max float64) ([]hw.Evolution, error) {
+// ratioList expands the -scenarios/-flopbw-max flags into flop-vs-bw
+// ratios: 0 keeps the paper's three points; N >= 1 spans [1, max] with
+// N evenly spaced ratios (N=1 is just max). sweep-fan ships this list
+// to the replicas' grid spec, so the local and remote sweeps enumerate
+// scenarios from the same numbers.
+func ratioList(n int, max float64) ([]float64, error) {
 	if n < 0 {
 		return nil, fmt.Errorf("negative -scenarios %d", n)
 	}
 	if n == 0 {
-		return hw.PaperScenarios(), nil
+		return []float64{1, 2, 4}, nil
 	}
 	if max < 1 {
 		return nil, fmt.Errorf("-flopbw-max %g below 1", max)
 	}
 	if n == 1 {
-		return []hw.Evolution{hw.FlopVsBWScenario(max)}, nil
+		return []float64{max}, nil
 	}
-	evos := make([]hw.Evolution, n)
-	for i := range evos {
-		evos[i] = hw.FlopVsBWScenario(1 + (max-1)*float64(i)/float64(n-1))
+	ratios := make([]float64, n)
+	for i := range ratios {
+		ratios[i] = 1 + (max-1)*float64(i)/float64(n-1)
+	}
+	return ratios, nil
+}
+
+// scenarioList maps the expanded ratios onto hardware scenarios via
+// hw.RatioScenario, so a ratio-1 point is the identity evolution here
+// and on twocsd replicas alike.
+func scenarioList(n int, max float64) ([]hw.Evolution, error) {
+	ratios, err := ratioList(n, max)
+	if err != nil {
+		return nil, err
+	}
+	evos := make([]hw.Evolution, len(ratios))
+	for i, r := range ratios {
+		evos[i] = hw.RatioScenario(r)
 	}
 	return evos, nil
 }

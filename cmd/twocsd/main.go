@@ -12,9 +12,16 @@
 //
 //	POST /v1/study   comm-fraction points + crossover tables as JSON;
 //	                 cached by canonical request hash (X-Twocsd-Cache
-//	                 says hit or miss)
+//	                 says hit or miss); a "model" field selects any zoo
+//	                 model (analyzers build lazily and are memoized)
 //	POST /v1/sweep   the full grid streamed as NDJSON rows ending in a
-//	                 #trailer; one sweep at a time, live on /progress
+//	                 #trailer; one sweep at a time, live on /progress.
+//	                 With "lo"/"hi" the response is one [lo,hi) row-range
+//	                 shard of the grid (global indices preserved), the
+//	                 unit `twocs sweep-fan` distributes over replicas
+//	POST /v1/plan    the normalized spec and exact row count of a sweep
+//	                 without running it — how a fan-out coordinator
+//	                 plans its shards
 //	/healthz /metrics /metrics.json /progress /debug/pprof/
 //	                 the same observability plane as `twocs -http`
 //

@@ -66,6 +66,25 @@ func trailerReason(err error) string {
 	}
 }
 
+// GridRowCount returns the exact number of rows the streaming evolution
+// grid over (hs × sls × tps) at batch b with nEvos scenarios produces.
+// This is Points() minus the TP degrees that do not divide their
+// configuration — the number a shard planner must partition, since row
+// indices are dense over the *enumerated* tasks, not the axis product.
+func GridRowCount(hs, sls, tps []int, b, nEvos int) (int64, error) {
+	if nEvos <= 0 {
+		return 0, fmt.Errorf("core: no evolution scenarios")
+	}
+	tasks, err := enumerateSerialized(hs, sls, tps, b)
+	if err != nil {
+		return 0, err
+	}
+	if len(tasks) == 0 {
+		return 0, fmt.Errorf("core: empty serialized sweep")
+	}
+	return int64(nEvos) * int64(len(tasks)), nil
+}
+
 // StreamSweepCtx streams the serialized sweep at one hardware scenario:
 // every (H × SL × TP) point at fixed B, in grid order, into sink. See
 // StreamEvolutionGridCtx for the contract.
@@ -87,7 +106,22 @@ func (a *Analyzer) StreamSweepCtx(ctx context.Context, hs, sls, tps []int, b int
 // sink.Close ran with a trailer recording the row count and the reason,
 // so a truncated artifact is well-formed and says it is truncated.
 func (a *Analyzer) StreamEvolutionGridCtx(ctx context.Context, hs, sls, tps []int, b int, evos []hw.Evolution, sink stream.Sink) error {
-	return a.streamEvolutionGrid(ctx, hs, sls, tps, b, evos, sink, false)
+	return a.streamEvolutionGrid(ctx, hs, sls, tps, b, evos, 0, -1, sink, false)
+}
+
+// StreamEvolutionGridRangeCtx streams only the rows with global grid
+// index in [lo, hi) — one shard of the same grid StreamEvolutionGridCtx
+// streams whole. Rows keep their *global* Index, so the concatenation
+// of a partition's shards is byte-identical to the full stream; the
+// trailer counts shard rows (Total = hi-lo), which is what lets a
+// coordinator resume an interrupted shard at lo+Rows. The stream is
+// strict (no canceled-row back-fill): an interrupted shard ends after
+// its contiguous prefix with a trailer naming the reason.
+func (a *Analyzer) StreamEvolutionGridRangeCtx(ctx context.Context, hs, sls, tps []int, b int, evos []hw.Evolution, lo, hi int64, sink stream.Sink) error {
+	if lo < 0 || lo >= hi {
+		return fmt.Errorf("core: bad shard range [%d,%d)", lo, hi)
+	}
+	return a.streamEvolutionGrid(ctx, hs, sls, tps, b, evos, lo, hi, sink, false)
 }
 
 // StreamEvolutionGridPartialCtx is StreamEvolutionGridCtx with the PR-4
@@ -101,10 +135,13 @@ func (a *Analyzer) StreamEvolutionGridCtx(ctx context.Context, hs, sls, tps []in
 // count them; the trailer's Canceled field totals them. The stream's
 // original error is still returned.
 func (a *Analyzer) StreamEvolutionGridPartialCtx(ctx context.Context, hs, sls, tps []int, b int, evos []hw.Evolution, sink stream.Sink) error {
-	return a.streamEvolutionGrid(ctx, hs, sls, tps, b, evos, sink, true)
+	return a.streamEvolutionGrid(ctx, hs, sls, tps, b, evos, 0, -1, sink, true)
 }
 
-func (a *Analyzer) streamEvolutionGrid(ctx context.Context, hs, sls, tps []int, b int, evos []hw.Evolution, sink stream.Sink, partial bool) error {
+// streamEvolutionGrid is the shared engine: hi < 0 selects the full
+// grid, otherwise rows [lo, hi) stream with their global indices and
+// the trailer accounts for the range (Total = hi-lo).
+func (a *Analyzer) streamEvolutionGrid(ctx context.Context, hs, sls, tps []int, b int, evos []hw.Evolution, lo, hi int64, sink stream.Sink, partial bool) error {
 	defer telemetry.Active().Start("core.StreamEvolutionGrid").End()
 	if sink == nil {
 		return fmt.Errorf("core: nil sink")
@@ -116,23 +153,34 @@ func (a *Analyzer) streamEvolutionGrid(ctx context.Context, hs, sls, tps []int, 
 	if err != nil {
 		return err
 	}
-	total := int64(len(evos)) * int64(len(tasks))
+	gridTotal := int64(len(evos)) * int64(len(tasks))
+	label := "sweep-stream"
+	if hi < 0 {
+		lo, hi = 0, gridTotal
+	} else {
+		if hi > gridTotal {
+			return fmt.Errorf("core: shard range [%d,%d) exceeds grid of %d rows", lo, hi, gridTotal)
+		}
+		label = "sweep-shard"
+	}
+	total := hi - lo
 	// Live progress bracket: the active tracker (if any) learns the grid
 	// size up front and, after the sink's trailer is written, the same
 	// completion verdict the artifact carries — so /progress and the
 	// trailer tell one story, also for canceled or failed streams.
 	pr := telemetry.ActiveProgress()
-	pr.Begin("sweep-stream", total)
+	pr.Begin(label, total)
 	var rows int64
 	streamErr := parallel.StreamCtx(ctx, a.workers(), int(total), 0,
 		func(_ context.Context, i int) (stream.Row, error) {
-			evo, t := evos[i/len(tasks)], tasks[i%len(tasks)]
+			g := lo + int64(i)
+			evo, t := evos[g/int64(len(tasks))], tasks[g%int64(len(tasks))]
 			proj, err := a.SerializedFraction(t.cfg, t.tp, evo)
 			if err != nil {
 				return stream.Row{}, err
 			}
 			return stream.Row{
-				Index: int64(i),
+				Index: g,
 				Evo:   evo.Name, FlopVsBW: evo.FlopVsBW(),
 				H: t.h, SL: t.sl, B: b, TP: t.tp,
 				IterTime: proj.Total(),
@@ -149,18 +197,18 @@ func (a *Analyzer) streamEvolutionGrid(ctx context.Context, hs, sls, tps []int, 
 			rows += int64(len(vals))
 			return nil
 		})
-	// Best-effort back-fill: the computed prefix [0, rows) was already
-	// delivered in order; emit the never-computed suffix as coordinate
-	// rows with NaN objectives, so the artifact keeps the grid shape. A
-	// sink error here stops the back-fill but not the trailer — Close
-	// always runs.
+	// Best-effort back-fill: the computed prefix [lo, lo+rows) was
+	// already delivered in order; emit the never-computed suffix as
+	// coordinate rows with NaN objectives, so the artifact keeps the
+	// grid shape. A sink error here stops the back-fill but not the
+	// trailer — Close always runs.
 	var canceled int64
 	if partial && streamErr != nil {
 		nan := math.NaN()
-		for i := rows; i < total; i++ {
-			evo, t := evos[int(i)/len(tasks)], tasks[int(i)%len(tasks)]
+		for g := lo + rows; g < hi; g++ {
+			evo, t := evos[g/int64(len(tasks))], tasks[g%int64(len(tasks))]
 			err := sink.Emit(stream.Row{
-				Index: i,
+				Index: g,
 				Evo:   evo.Name, FlopVsBW: evo.FlopVsBW(),
 				H: t.h, SL: t.sl, B: b, TP: t.tp,
 				IterTime: units.Seconds(nan),

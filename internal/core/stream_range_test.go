@@ -1,0 +1,124 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"twocs/internal/hw"
+	"twocs/internal/stream"
+)
+
+// TestGridRowCount: the exact row count equals what the full stream
+// actually emits — the TP-divisibility skips make it smaller than the
+// axis product.
+func TestGridRowCount(t *testing.T) {
+	a := newAnalyzer(t)
+	hs, sls, tps := smallGrid()
+	evos := hw.PaperScenarios()
+
+	total, err := GridRowCount(hs, sls, tps, 1, len(evos))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sink collectSink
+	if err := a.StreamEvolutionGridCtx(context.Background(), hs, sls, tps, 1, evos, &sink); err != nil {
+		t.Fatal(err)
+	}
+	if total != int64(len(sink.rows)) {
+		t.Fatalf("GridRowCount = %d, stream emitted %d rows", total, len(sink.rows))
+	}
+	product := int64(len(hs)) * int64(len(sls)) * int64(len(tps)) * int64(len(evos))
+	if total >= product {
+		t.Fatalf("count %d should be below the axis product %d (TP skips)", total, product)
+	}
+	if _, err := GridRowCount(hs, sls, tps, 1, 0); err == nil {
+		t.Fatal("zero scenarios must error")
+	}
+}
+
+// TestStreamGridRangeShards: any contiguous partition of [0, total)
+// streamed shard by shard concatenates to the byte-identical full
+// NDJSON row stream, each shard trailer accounting for its own range.
+func TestStreamGridRangeShards(t *testing.T) {
+	a := newAnalyzer(t)
+	hs, sls, tps := smallGrid()
+	evos := hw.PaperScenarios()
+	ctx := context.Background()
+
+	var full bytes.Buffer
+	if err := a.StreamEvolutionGridCtx(ctx, hs, sls, tps, 1, evos, stream.NewNDJSON(&full)); err != nil {
+		t.Fatal(err)
+	}
+	fullRows := bytes.Split(bytes.TrimSuffix(full.Bytes(), []byte("\n")), []byte("\n"))
+	fullRows = fullRows[:len(fullRows)-1] // drop the trailer line
+	total := int64(len(fullRows))
+
+	for _, shardRows := range []int64{1, 5, total - 1, total} {
+		var joined bytes.Buffer
+		for lo := int64(0); lo < total; lo += shardRows {
+			hi := lo + shardRows
+			if hi > total {
+				hi = total
+			}
+			var buf bytes.Buffer
+			var count stream.Discard
+			sink := stream.Multi(stream.NewNDJSON(&buf), &count)
+			if err := a.StreamEvolutionGridRangeCtx(ctx, hs, sls, tps, 1, evos, lo, hi, sink); err != nil {
+				t.Fatalf("shard [%d,%d): %v", lo, hi, err)
+			}
+			lines := bytes.Split(bytes.TrimSuffix(buf.Bytes(), []byte("\n")), []byte("\n"))
+			if int64(len(lines)-1) != hi-lo {
+				t.Fatalf("shard [%d,%d): %d rows", lo, hi, len(lines)-1)
+			}
+			for _, line := range lines[:len(lines)-1] {
+				joined.Write(line)
+				joined.WriteByte('\n')
+			}
+			if count.Rows != hi-lo {
+				t.Fatalf("shard [%d,%d): sink saw %d rows", lo, hi, count.Rows)
+			}
+		}
+		var want bytes.Buffer
+		for _, line := range fullRows {
+			want.Write(line)
+			want.WriteByte('\n')
+		}
+		if !bytes.Equal(joined.Bytes(), want.Bytes()) {
+			t.Fatalf("shardRows=%d: concatenated shards differ from the full stream", shardRows)
+		}
+	}
+}
+
+// TestStreamGridRangeTrailer: a shard's trailer describes the shard
+// (Total = hi-lo, global indices on the rows), and bad ranges fail.
+func TestStreamGridRangeTrailer(t *testing.T) {
+	a := newAnalyzer(t)
+	hs, sls, tps := smallGrid()
+	evos := hw.PaperScenarios()
+	ctx := context.Background()
+
+	total, err := GridRowCount(hs, sls, tps, 1, len(evos))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := total/3, total/3+4
+	var sink collectSink
+	if err := a.StreamEvolutionGridRangeCtx(ctx, hs, sls, tps, 1, evos, lo, hi, &sink); err != nil {
+		t.Fatal(err)
+	}
+	if sink.trailer.Rows != hi-lo || sink.trailer.Total != hi-lo || !sink.trailer.Complete {
+		t.Fatalf("shard trailer: %+v", sink.trailer)
+	}
+	for i, r := range sink.rows {
+		if r.Index != lo+int64(i) {
+			t.Fatalf("row %d has global index %d, want %d", i, r.Index, lo+int64(i))
+		}
+	}
+
+	for _, rg := range [][2]int64{{-1, 3}, {4, 4}, {5, 2}, {0, total + 1}} {
+		if err := a.StreamEvolutionGridRangeCtx(ctx, hs, sls, tps, 1, evos, rg[0], rg[1], &collectSink{}); err == nil {
+			t.Fatalf("range [%d,%d) must error", rg[0], rg[1])
+		}
+	}
+}

@@ -61,6 +61,20 @@ func FlopVsBWScenario(ratio float64) Evolution {
 	}
 }
 
+// RatioScenario maps a flop-vs-bw ratio onto its hardware scenario,
+// naming ratio 1 as the identity evolution ("1x", today's hardware)
+// rather than a degenerate "1x flop-vs-bw" scaling. The two are
+// numerically identical devices; sharing one spelling here is what
+// keeps grids built from ratio lists (CLI -scenarios, the twocsd
+// flopbw spec) byte-identical to grids built from PaperScenarios.
+func RatioScenario(ratio float64) Evolution {
+	//lint:ignore floatcmp exact sentinel: ratio 1 selects the identity scenario by convention
+	if ratio == 1 {
+		return Identity()
+	}
+	return FlopVsBWScenario(ratio)
+}
+
 // PaperScenarios returns the three hardware points evaluated in Figures
 // 12-13: today (1×), and 2×/4× flop-vs-bw.
 func PaperScenarios() []Evolution {

@@ -126,6 +126,22 @@ func (c Config) TPDivides(tp int) bool {
 	return tp > 0 && c.Heads%tp == 0 && c.FCDim%tp == 0
 }
 
+// CalibrationTP picks the tensor-parallel degree an analyzer's baseline
+// profile calibrates at for cfg: the first small candidate degree that
+// divides the model's heads and feed-forward width. The candidate order
+// prefers 4 — the degree the BERT baseline has always calibrated at —
+// and covers every zoo head count (GPT-2's 25 heads fall through to 5).
+// TP=1 is the last resort; it calibrates without any AllReduce traffic,
+// so a model that only divides by 1 gets a compute-only baseline.
+func CalibrationTP(cfg Config) int {
+	for _, tp := range []int{4, 8, 2, 5} {
+		if cfg.TPDivides(tp) {
+			return tp
+		}
+	}
+	return 1
+}
+
 // LayerParams returns the parameter count of one Transformer layer:
 // 4H² attention weights (QKV + output projection) plus 2·H·FC feed-forward
 // weights plus biases and the two LayerNorms' gains/biases.

@@ -117,18 +117,8 @@ func StreamCtx[T any](ctx context.Context, workers, n, chunk int, fn func(contex
 		nextChunk atomic.Int64
 		failed    atomic.Bool
 		wg        sync.WaitGroup
-
-		mu sync.Mutex
-		// turn is the next chunk index allowed to emit; guarded by mu.
-		turn = 0
-		// aborted records that some emission turn returned an error (task
-		// or emit); later turns discard their chunks. Guarded by mu.
-		aborted bool
-		// streamErr is the first error in emission (= index) order;
-		// guarded by mu.
-		streamErr error
 	)
-	cond := sync.NewCond(&mu)
+	turns := NewTurns()
 
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -181,55 +171,39 @@ func StreamCtx[T any](ctx context.Context, workers, n, chunk int, fn func(contex
 				// will pass through here — the wait cannot starve. The
 				// emission-order-first error is the lowest-index error
 				// because chunk index order is row index order.
-				var waitStart time.Time
-				if tel != nil {
-					waitStart = time.Now()
-				}
-				mu.Lock()
-				for turn != c && !aborted {
-					cond.Wait()
-				}
-				if aborted {
-					mu.Unlock()
-					return
-				}
-				if tel != nil {
-					tel.Observe("parallel.stream.emitwait.wall_ns",
-						int64(time.Since(waitStart)))
-				}
-				var emitErr error
-				if len(buf) > 0 {
-					emitErr = emit(lo, buf)
-					tel.Count("parallel.stream.rows", int64(len(buf)))
-					if emitErr == nil {
-						pr.AddRows(int64(len(buf)))
+				wait, ok := turns.Do(c, func() error {
+					var emitErr error
+					if len(buf) > 0 {
+						emitErr = emit(lo, buf)
+						tel.Count("parallel.stream.rows", int64(len(buf)))
+						if emitErr == nil {
+							pr.AddRows(int64(len(buf)))
+						}
 					}
-				}
-				stop := true
-				switch {
-				case emitErr != nil:
-					streamErr, aborted = emitErr, true
-					failed.Store(true)
-				case taskErr != nil:
-					streamErr, aborted = taskErr, true
-				default:
+					if emitErr != nil {
+						failed.Store(true)
+						return emitErr
+					}
+					if taskErr != nil {
+						return taskErr
+					}
 					pr.ChunkDone()
-					turn++
-					stop = false
+					return nil
+				})
+				if tel != nil {
+					tel.Observe("parallel.stream.emitwait.wall_ns", int64(wait))
 				}
-				cond.Broadcast()
-				mu.Unlock()
-				if stop {
+				if !ok {
 					return
 				}
 			}
 		}(w)
 	}
 	wg.Wait()
-	if streamErr != nil {
+	if streamErr := turns.Err(); streamErr != nil {
 		return streamErr
 	}
-	if err := ctx.Err(); err != nil && turn < nChunks {
+	if err := ctx.Err(); err != nil && turns.Done() < nChunks {
 		tel.Count("parallel.stream.canceled", 1)
 		return err
 	}

@@ -95,7 +95,7 @@ func (s *Server) handleStudy(w http.ResponseWriter, r *http.Request) {
 		s.reject(w, http.StatusBadRequest, err)
 		return
 	}
-	if err := req.normalize(); err != nil {
+	if err := req.normalize(s.cfg.DefaultModel); err != nil {
 		s.reject(w, http.StatusBadRequest, err)
 		return
 	}
@@ -144,8 +144,12 @@ func (s *Server) writeStudy(w http.ResponseWriter, key, verdict string, body []b
 // computeStudy runs the strict evolution grid under ctx and renders the
 // deterministic response body.
 func (s *Server) computeStudy(ctx context.Context, req StudyRequest) ([]byte, error) {
+	an, err := s.analyzerFor(req.Model)
+	if err != nil {
+		return nil, err
+	}
 	evos := req.Evolutions()
-	grid, err := s.an.SerializedEvolutionGridCtx(ctx, req.Hs, req.SLs, req.TPs, req.B, evos)
+	grid, err := an.SerializedEvolutionGridCtx(ctx, req.Hs, req.SLs, req.TPs, req.B, evos)
 	if err != nil {
 		return nil, err
 	}
@@ -189,13 +193,33 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		s.reject(w, http.StatusBadRequest, err)
 		return
 	}
-	if err := req.GridSpec.normalize(); err != nil {
+	if err := req.normalize(s.cfg.DefaultModel); err != nil {
 		s.reject(w, http.StatusBadRequest, err)
 		return
 	}
 	if pts := req.Points(); pts > s.cfg.MaxSweepPoints {
 		s.reject(w, http.StatusRequestEntityTooLarge,
 			fmt.Errorf("sweep grid has %d points, limit %d", pts, s.cfg.MaxSweepPoints))
+		return
+	}
+	if req.Ranged() {
+		// Resolve the exact row count before any bytes go out: an
+		// out-of-grid shard must be a 400 the coordinator can act on, not
+		// a 200 that dies mid-stream.
+		total, err := req.RowCount()
+		if err != nil {
+			s.reject(w, http.StatusBadRequest, err)
+			return
+		}
+		if req.Hi > total {
+			s.reject(w, http.StatusBadRequest,
+				fmt.Errorf("shard range [%d,%d) exceeds grid of %d rows", req.Lo, req.Hi, total))
+			return
+		}
+	}
+	an, err := s.analyzerFor(req.Model)
+	if err != nil {
+		s.fail(w, err)
 		return
 	}
 	// One streaming sweep at a time: the process-wide progress tracker
@@ -214,16 +238,77 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.Header().Set("X-Twocsd-Request", req.cacheKey())
+	sink := stream.NewHTTPNDJSON(w, s.cfg.FlushEvery)
+	if req.Ranged() {
+		// Shard streams are strict, not partial: an interrupted shard ends
+		// after its contiguous prefix with a trailer whose Rows tells the
+		// coordinator exactly where to resume (lo+Rows). Back-filled
+		// canceled rows would be indistinguishable from computed ones at
+		// the byte level and poison the resumed re-fetch.
+		if err := an.StreamEvolutionGridRangeCtx(ctx, req.Hs, req.SLs, req.TPs, req.B, req.Evolutions(), req.Lo, req.Hi, sink); err != nil {
+			s.col.Count("serve.sweep.partial", 1)
+		}
+		return
+	}
 	// The partial entry point means cancellation mid-stream (client gone,
 	// deadline, SIGTERM draining the server ctx) still yields a
 	// well-formed artifact: full grid shape, canceled rows as nulls, a
 	// trailer that says what happened. Status is already 200 by the time
 	// anything can fail — the trailer is the error channel, which is why
 	// the smoke tests machine-check it.
-	sink := stream.NewHTTPNDJSON(w, s.cfg.FlushEvery)
-	if err := s.an.StreamEvolutionGridPartialCtx(ctx, req.Hs, req.SLs, req.TPs, req.B, req.Evolutions(), sink); err != nil {
+	if err := an.StreamEvolutionGridPartialCtx(ctx, req.Hs, req.SLs, req.TPs, req.B, req.Evolutions(), sink); err != nil {
 		s.col.Count("serve.sweep.partial", 1)
 	}
+}
+
+// PlanResponse is the POST /v1/plan body: the normalized sweep spec
+// echoed back and the exact row count its grid streams — what a fan-out
+// coordinator needs to partition the index space into shards without
+// re-implementing the enumerator's TP-divisibility skips.
+type PlanResponse struct {
+	Spec   SweepRequest `json:"spec"`
+	Points int64        `json:"points"`
+}
+
+func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
+	defer s.col.Start("serve.plan").End()
+	s.col.Count("serve.plan.requests", 1)
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST a JSON SweepRequest", http.StatusMethodNotAllowed)
+		return
+	}
+	if !s.admit(w) {
+		return
+	}
+	defer s.gate.release()
+
+	var req SweepRequest
+	if err := decodeStrict(r.Body, &req); err != nil {
+		s.reject(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := req.normalize(s.cfg.DefaultModel); err != nil {
+		s.reject(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.Ranged() || req.Lo != 0 {
+		s.reject(w, http.StatusBadRequest,
+			fmt.Errorf("plan takes a whole grid, not a shard range"))
+		return
+	}
+	total, err := req.RowCount()
+	if err != nil {
+		s.reject(w, http.StatusBadRequest, err)
+		return
+	}
+	body, err := json.Marshal(PlanResponse{Spec: req, Points: total})
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Twocsd-Request", req.cacheKey())
+	_, _ = w.Write(append(body, '\n'))
 }
 
 func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
@@ -233,9 +318,11 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	fmt.Fprint(w, "twocsd analysis daemon\n\n"+
-		"  POST /v1/study  {\"h\":[...],\"sl\":[...],\"tp\":[...],\"b\":1,\"flopbw\":[...],\"target_fraction\":0.5}\n"+
+		"  POST /v1/study  {\"h\":[...],\"sl\":[...],\"tp\":[...],\"b\":1,\"flopbw\":[...],\"model\":\"BERT\",\"target_fraction\":0.5}\n"+
 		"                  comm-fraction points + crossover tables as JSON (cached)\n"+
-		"  POST /v1/sweep  {\"h\":[...],\"sl\":[...],\"tp\":[...],\"b\":1,\"flopbw\":[...]}\n"+
-		"                  full grid streamed as NDJSON with a #trailer row\n\n"+
+		"  POST /v1/sweep  {\"h\":[...],\"sl\":[...],\"tp\":[...],\"b\":1,\"flopbw\":[...],\"model\":\"BERT\",\"lo\":0,\"hi\":0}\n"+
+		"                  grid streamed as NDJSON with a trailer row; lo/hi select\n"+
+		"                  a shard of global row indices [lo,hi) for fan-out clients\n"+
+		"  POST /v1/plan   same spec; echoes the normalized spec + exact row count\n\n"+
 		"  /healthz /metrics /metrics.json /progress /debug/pprof/  observability plane\n")
 }

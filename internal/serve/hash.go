@@ -13,7 +13,10 @@ import (
 // entry. The rendering is versioned; bump the prefix when the response
 // schema changes so stale entries can never be served across a deploy.
 
-const hashVersion = "twocsd/v1"
+// v2: the canonical string gained ";model=" (multi-model zoo) and the
+// sweep form gained ";lo=/;hi=" (shard ranges) — v1 entries hash a
+// request shape that no longer exists.
+const hashVersion = "twocsd/v2"
 
 func appendInts(b []byte, name string, vals []int) []byte {
 	b = append(b, ';')
@@ -41,6 +44,8 @@ func (g GridSpec) appendCanonical(b []byte) []byte {
 		}
 		b = strconv.AppendFloat(b, r, 'g', -1, 64)
 	}
+	b = append(b, ";model="...)
+	b = append(b, g.Model...)
 	return b
 }
 
@@ -56,10 +61,16 @@ func (r StudyRequest) cacheKey() string {
 
 // cacheKey returns the canonical digest of a normalized sweep request.
 // Sweep responses are not cached (they stream), but the digest names
-// the request in spans and logs.
+// the request in spans and logs — and a shard's digest is canonical
+// *per shard*: the range participates, so two shards of one sweep are
+// distinguishable while retries of the same shard collide.
 func (r SweepRequest) cacheKey() string {
 	b := []byte(hashVersion + "/sweep")
 	b = r.GridSpec.appendCanonical(b)
+	b = append(b, ";lo="...)
+	b = strconv.AppendInt(b, r.Lo, 10)
+	b = append(b, ";hi="...)
+	b = strconv.AppendInt(b, r.Hi, 10)
 	sum := sha256.Sum256(b)
 	return hex.EncodeToString(sum[:])
 }

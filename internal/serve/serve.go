@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"twocs/internal/core"
+	"twocs/internal/model"
 	"twocs/internal/telemetry"
 )
 
@@ -37,6 +38,10 @@ type Config struct {
 	// FlushEvery is the sweep stream's row-granularity for flushing
 	// chunked NDJSON to the client (<= 0 takes the sink's default).
 	FlushEvery int64
+	// DefaultModel names the zoo model a request without an explicit
+	// "model" field analyzes ("" means BERT, the model the analyzer
+	// passed to New was built for).
+	DefaultModel string
 }
 
 // DefaultConfig returns production-shaped settings: a cache sized for
@@ -55,6 +60,7 @@ func DefaultConfig() Config {
 		MaxStudyPoints: 1 << 16,
 		MaxSweepPoints: 1 << 24,
 		FlushEvery:     256,
+		DefaultModel:   "BERT",
 	}
 }
 
@@ -71,6 +77,14 @@ type Server struct {
 	bucket *tokenBucket
 	gate   inflightGate
 	flight flightGroup
+	// anMu guards analyzers, the lazy per-model registry: the analyzer
+	// passed to New is seeded under the default model's name, other zoo
+	// models are calibrated on first request and memoized. Construction
+	// holds the lock — the first request for a new model pays the
+	// baseline profile once, concurrent requests for it wait instead of
+	// duplicating the work.
+	anMu      sync.Mutex
+	analyzers map[string]*core.Analyzer
 	// sweepMu serializes streaming sweeps: the progress tracker is
 	// process-wide, so one stream at a time is the contract that keeps
 	// /progress agreeing with the trailer of the sweep it describes.
@@ -82,15 +96,44 @@ type Server struct {
 // process's active collector, the analyzer's own spans and counters
 // land beside the request metrics.
 func New(an *core.Analyzer, cfg Config, col *telemetry.Collector, sampler *telemetry.Sampler) *Server {
-	return &Server{
-		an:      an,
-		cfg:     cfg,
-		col:     col,
-		sampler: sampler,
-		cache:   newLRUCache(cfg.CacheEntries, cfg.CacheBytes),
-		bucket:  newTokenBucket(cfg.Rate, cfg.Burst),
-		gate:    newInflightGate(cfg.MaxInflight),
+	if cfg.DefaultModel == "" {
+		cfg.DefaultModel = "BERT"
 	}
+	return &Server{
+		an:        an,
+		cfg:       cfg,
+		col:       col,
+		sampler:   sampler,
+		cache:     newLRUCache(cfg.CacheEntries, cfg.CacheBytes),
+		bucket:    newTokenBucket(cfg.Rate, cfg.Burst),
+		gate:      newInflightGate(cfg.MaxInflight),
+		analyzers: map[string]*core.Analyzer{cfg.DefaultModel: an},
+	}
+}
+
+// analyzerFor returns the memoized analyzer for a zoo model, building
+// and calibrating it on first use. The name must already be validated
+// (normalize checked the zoo), so an error here is a construction
+// failure, not a client mistake.
+func (s *Server) analyzerFor(name string) (*core.Analyzer, error) {
+	s.anMu.Lock()
+	defer s.anMu.Unlock()
+	if a, ok := s.analyzers[name]; ok {
+		return a, nil
+	}
+	e, err := model.LookupZoo(name)
+	if err != nil {
+		return nil, err
+	}
+	defer s.col.Start("serve.analyzer.build").End()
+	a, err := core.NewAnalyzer(s.an.Cluster, e.Config, model.CalibrationTP(e.Config))
+	if err != nil {
+		return nil, err
+	}
+	a.Workers = s.an.Workers
+	s.analyzers[name] = a
+	s.col.Count("serve.analyzer.models", 1)
+	return a, nil
 }
 
 // Handler mounts the full daemon surface on one mux: the API routes
@@ -102,6 +145,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/", s.handleIndex)
 	mux.HandleFunc("/v1/study", s.handleStudy)
 	mux.HandleFunc("/v1/sweep", s.handleSweep)
+	mux.HandleFunc("/v1/plan", s.handlePlan)
 	telemetry.RegisterDebug(mux, s.col, s.sampler)
 	return mux
 }

@@ -13,7 +13,7 @@ import (
 
 func TestGridSpecNormalizeDefaults(t *testing.T) {
 	var g GridSpec
-	if err := g.normalize(); err != nil {
+	if err := g.normalize("BERT"); err != nil {
 		t.Fatal(err)
 	}
 	if len(g.Hs) != len(core.Table3Hs()) || len(g.SLs) != len(core.Table3SLs()) ||
@@ -28,7 +28,7 @@ func TestGridSpecNormalizeDefaults(t *testing.T) {
 func TestGridSpecNormalizeCanonicalizes(t *testing.T) {
 	g := GridSpec{Hs: []int{2048, 1024, 2048}, SLs: []int{4096}, TPs: []int{16, 4},
 		FlopVsBW: []float64{4, 1, 4}}
-	if err := g.normalize(); err != nil {
+	if err := g.normalize("BERT"); err != nil {
 		t.Fatal(err)
 	}
 	if fmt.Sprint(g.Hs) != "[1024 2048]" || fmt.Sprint(g.TPs) != "[4 16]" ||
@@ -50,7 +50,7 @@ func TestGridSpecNormalizeRejects(t *testing.T) {
 		{FlopVsBW: []float64{2e6}},
 	}
 	for i, g := range bad {
-		if err := g.normalize(); err == nil {
+		if err := g.normalize("BERT"); err == nil {
 			t.Errorf("spec %d normalized without error: %+v", i, g)
 		}
 	}
@@ -58,7 +58,7 @@ func TestGridSpecNormalizeRejects(t *testing.T) {
 
 func TestStudyRequestTargetFraction(t *testing.T) {
 	var r StudyRequest
-	if err := r.normalize(); err != nil {
+	if err := r.normalize("BERT"); err != nil {
 		t.Fatal(err)
 	}
 	if r.TargetFraction < 0.49 || r.TargetFraction > 0.51 {
@@ -66,7 +66,7 @@ func TestStudyRequestTargetFraction(t *testing.T) {
 	}
 	for _, bad := range []float64{-0.1, 1, 1.5} {
 		r := StudyRequest{TargetFraction: bad}
-		if err := r.normalize(); err == nil {
+		if err := r.normalize("BERT"); err == nil {
 			t.Errorf("target %v accepted", bad)
 		}
 	}
@@ -80,7 +80,7 @@ func TestCacheKeyCanonical(t *testing.T) {
 	b := StudyRequest{GridSpec: GridSpec{Hs: []int{2048, 1024, 2048}, SLs: []int{1024},
 		TPs: []int{8, 4}, B: 1, FlopVsBW: []float64{1, 2, 4}}}
 	for _, r := range []*StudyRequest{&a, &b} {
-		if err := r.normalize(); err != nil {
+		if err := r.normalize("BERT"); err != nil {
 			t.Fatal(err)
 		}
 	}

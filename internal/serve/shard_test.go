@@ -1,0 +1,173 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// TestPlanExactPoints: /v1/plan returns the exact enumerated row count
+// — the number of data lines a full sweep of the same spec streams,
+// not the axis-product upper bound.
+func TestPlanExactPoints(t *testing.T) {
+	_, _, ts := testServer(t, DefaultConfig())
+	spec := `{"h":[1024,2048],"sl":[1024],"tp":[4,8,64],"flopbw":[1,4]}`
+
+	resp, body := postJSON(t, ts.URL+"/v1/plan", spec)
+	if resp.StatusCode != 200 {
+		t.Fatalf("plan: %d %s", resp.StatusCode, body)
+	}
+	var plan PlanResponse
+	if err := json.Unmarshal(body, &plan); err != nil {
+		t.Fatal(err)
+	}
+	if plan.Spec.Model != "BERT" {
+		t.Fatalf("plan did not echo the defaulted model: %+v", plan.Spec)
+	}
+	if plan.Points >= plan.Spec.Points() {
+		t.Fatalf("plan points %d should be below the axis product %d (TP=64 skips H=1024)",
+			plan.Points, plan.Spec.Points())
+	}
+
+	sw, err := http.Post(ts.URL+"/v1/sweep", "application/json", strings.NewReader(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sw.Body.Close()
+	lines, _, tr := scanSweep(t, sw.Body)
+	if lines != plan.Points || tr.Total != plan.Points {
+		t.Fatalf("plan says %d points, sweep streamed %d (trailer %+v)", plan.Points, lines, tr)
+	}
+}
+
+// TestSweepShardsConcatIdentical: splitting the grid into [lo,hi)
+// shards and concatenating the shard streams' data lines reproduces the
+// full sweep's data lines byte for byte, at several shard sizes.
+func TestSweepShardsConcatIdentical(t *testing.T) {
+	_, _, ts := testServer(t, DefaultConfig())
+	spec := `{"h":[1024,2048],"sl":[1024,2048],"tp":[4,8],"flopbw":[1,4]}`
+
+	resp, body := postJSON(t, ts.URL+"/v1/plan", spec)
+	if resp.StatusCode != 200 {
+		t.Fatalf("plan: %d %s", resp.StatusCode, body)
+	}
+	var plan PlanResponse
+	if err := json.Unmarshal(body, &plan); err != nil {
+		t.Fatal(err)
+	}
+	total := plan.Points
+
+	fullResp, fullBody := postJSON(t, ts.URL+"/v1/sweep", spec)
+	if fullResp.StatusCode != 200 {
+		t.Fatalf("full sweep: %d", fullResp.StatusCode)
+	}
+	fullLines := bytes.Split(bytes.TrimSuffix(fullBody, []byte("\n")), []byte("\n"))
+	wantRows := bytes.Join(fullLines[:len(fullLines)-1], []byte("\n"))
+
+	for _, shardRows := range []int64{1, 3, total - 1, total} {
+		var joined [][]byte
+		for lo := int64(0); lo < total; lo += shardRows {
+			hi := lo + shardRows
+			if hi > total {
+				hi = total
+			}
+			shardSpec := fmt.Sprintf(`{"h":[1024,2048],"sl":[1024,2048],"tp":[4,8],"flopbw":[1,4],"lo":%d,"hi":%d}`, lo, hi)
+			resp, body := postJSON(t, ts.URL+"/v1/sweep", shardSpec)
+			if resp.StatusCode != 200 {
+				t.Fatalf("shard [%d,%d): %d %s", lo, hi, resp.StatusCode, body)
+			}
+			lines := bytes.Split(bytes.TrimSuffix(body, []byte("\n")), []byte("\n"))
+			var tr sweepTrailer
+			if err := json.Unmarshal(lines[len(lines)-1], &tr); err != nil || !tr.Trailer {
+				t.Fatalf("shard [%d,%d) trailer: %s", lo, hi, lines[len(lines)-1])
+			}
+			if tr.Rows != hi-lo || tr.Total != hi-lo || !tr.Complete {
+				t.Fatalf("shard [%d,%d) trailer %+v", lo, hi, tr)
+			}
+			joined = append(joined, lines[:len(lines)-1]...)
+		}
+		if !bytes.Equal(bytes.Join(joined, []byte("\n")), wantRows) {
+			t.Fatalf("shardRows=%d: concatenated shards differ from the full sweep", shardRows)
+		}
+	}
+}
+
+// TestSweepShardValidation: malformed or out-of-grid shard ranges are
+// 400s decided before any stream bytes, and /v1/study rejects shard
+// fields outright.
+func TestSweepShardValidation(t *testing.T) {
+	_, _, ts := testServer(t, DefaultConfig())
+	base := `"h":[1024],"sl":[1024],"tp":[4,8],"flopbw":[1]`
+
+	for _, c := range []struct {
+		body string
+		want int
+	}{
+		{`{` + base + `,"lo":-1,"hi":1}`, 400},
+		{`{` + base + `,"lo":2,"hi":2}`, 400},
+		{`{` + base + `,"lo":5,"hi":2}`, 400},
+		{`{` + base + `,"lo":1}`, 400},         // lo without hi
+		{`{` + base + `,"lo":0,"hi":99}`, 400}, // beyond the 2-row grid
+	} {
+		resp, body := postJSON(t, ts.URL+"/v1/sweep", c.body)
+		if resp.StatusCode != c.want {
+			t.Errorf("body %s: status %d (%s), want %d", c.body, resp.StatusCode, body, c.want)
+		}
+	}
+
+	resp, body := postJSON(t, ts.URL+"/v1/study", `{`+base+`,"lo":0,"hi":1}`)
+	if resp.StatusCode != 400 || !strings.Contains(string(body), "lo") {
+		t.Fatalf("study with shard range: %d %s, want 400 naming the field", resp.StatusCode, body)
+	}
+
+	resp, body = postJSON(t, ts.URL+"/v1/plan", `{`+base+`,"lo":0,"hi":1}`)
+	if resp.StatusCode != 400 {
+		t.Fatalf("plan with shard range: %d %s, want 400", resp.StatusCode, body)
+	}
+}
+
+// TestModelSelection: an unknown model is a 400 naming the valid zoo;
+// a valid non-default model computes against its own calibrated
+// analyzer and yields a different study than the BERT default.
+func TestModelSelection(t *testing.T) {
+	_, col, ts := testServer(t, DefaultConfig())
+
+	resp, body := postJSON(t, ts.URL+"/v1/study", `{"h":[1024],"sl":[1024],"tp":[4],"flopbw":[1],"model":"BERT-XXL"}`)
+	if resp.StatusCode != 400 {
+		t.Fatalf("unknown model: %d %s", resp.StatusCode, body)
+	}
+	for _, name := range []string{"BERT", "GPT-2", "PaLM"} {
+		if !strings.Contains(string(body), name) {
+			t.Fatalf("unknown-model 400 does not list %q: %s", name, body)
+		}
+	}
+
+	spec := `{"h":[1024],"sl":[1024],"tp":[4,8],"flopbw":[1]`
+	_, bertBody := postJSON(t, ts.URL+"/v1/study", spec+`}`)
+	respGPT, gptBody := postJSON(t, ts.URL+"/v1/study", spec+`,"model":"GPT-2"}`)
+	if respGPT.StatusCode != 200 {
+		t.Fatalf("GPT-2 study: %d %s", respGPT.StatusCode, gptBody)
+	}
+	if bytes.Equal(bertBody, gptBody) {
+		t.Fatal("GPT-2 study is byte-identical to BERT's — model selection had no effect")
+	}
+	if n := counter(t, col, "serve.analyzer.models"); n != 1 {
+		t.Fatalf("analyzer.models counter = %d, want 1 (GPT-2 built lazily)", n)
+	}
+	// Same model again: memoized, no second build.
+	postJSON(t, ts.URL+"/v1/study", spec+`,"model":"GPT-2","target_fraction":0.4}`)
+	if n := counter(t, col, "serve.analyzer.models"); n != 1 {
+		t.Fatalf("analyzer.models counter = %d after reuse, want 1", n)
+	}
+
+	// The explicit default model shares the cache entry with the implicit
+	// one: normalization fills the default before hashing.
+	r1, _ := postJSON(t, ts.URL+"/v1/study", spec+`}`)
+	r2, _ := postJSON(t, ts.URL+"/v1/study", spec+`,"model":"BERT"}`)
+	if r1.Header.Get("X-Twocsd-Request") != r2.Header.Get("X-Twocsd-Request") {
+		t.Fatal("implicit and explicit default model hash differently")
+	}
+}

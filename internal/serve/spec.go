@@ -20,9 +20,11 @@ import (
 	"fmt"
 	"io"
 	"slices"
+	"strings"
 
 	"twocs/internal/core"
 	"twocs/internal/hw"
+	"twocs/internal/model"
 )
 
 // GridSpec selects the design-space slice a request runs over. Every
@@ -40,6 +42,12 @@ type GridSpec struct {
 	// FlopVsBW lists the hardware-evolution scenarios as compute-vs-
 	// network scaling ratios (default: the paper's 1, 2, 4).
 	FlopVsBW []float64 `json:"flopbw,omitempty"`
+	// Model names the zoo baseline the analyzer calibrates from
+	// (default: the server's configured model, normally BERT). The grid
+	// itself is model-independent — FutureConfig derives each point's
+	// architecture from H — but the calibrated operator model and
+	// baseline profile the projections stand on are per-model.
+	Model string `json:"model,omitempty"`
 }
 
 // StudyRequest is the POST /v1/study body: a grid plus the crossover
@@ -53,10 +61,22 @@ type StudyRequest struct {
 }
 
 // SweepRequest is the POST /v1/sweep body: a grid streamed back as
-// NDJSON rows under the stream.Trailer contract.
+// NDJSON rows under the stream.Trailer contract. Lo/Hi optionally
+// select one shard of the grid — rows with global index in [Lo, Hi) —
+// which is how a fan-out coordinator splits a sweep across replicas.
+// Only sweeps understand shards; a StudyRequest carrying "lo" is a 400
+// (strict decoding), not a silently ignored field.
 type SweepRequest struct {
 	GridSpec
+	// Lo and Hi bound the shard's global row-index range [Lo, Hi).
+	// Hi == 0 (the zero value) means the full grid.
+	Lo int64 `json:"lo,omitempty"`
+	Hi int64 `json:"hi,omitempty"`
 }
+
+// Ranged reports whether the request asks for a shard rather than the
+// full grid.
+func (r SweepRequest) Ranged() bool { return r.Hi > 0 }
 
 // maxAxisValue bounds each axis entry to something the op-graph builder
 // can actually shape; it exists to fail absurd requests fast, not to be
@@ -78,8 +98,20 @@ func normalizeAxis(name string, vals, def []int) ([]int, error) {
 	return out, nil
 }
 
-// normalize applies defaults and canonicalizes the axes in place.
-func (g *GridSpec) normalize() error {
+// ZooModelNames returns the valid GridSpec.Model values in zoo order —
+// the list a rejection names so a typo'd model is a self-correcting 400.
+func ZooModelNames() []string {
+	zoo := model.Zoo()
+	names := make([]string, len(zoo))
+	for i, e := range zoo {
+		names[i] = e.Config.Name
+	}
+	return names
+}
+
+// normalize applies defaults and canonicalizes the axes in place;
+// defModel fills an empty Model before it is validated against the zoo.
+func (g *GridSpec) normalize(defModel string) error {
 	var err error
 	if g.Hs, err = normalizeAxis("h", g.Hs, core.Table3Hs()); err != nil {
 		return err
@@ -108,6 +140,12 @@ func (g *GridSpec) normalize() error {
 		}
 	}
 	g.FlopVsBW = ratios
+	if g.Model == "" {
+		g.Model = defModel
+	}
+	if _, err := model.LookupZoo(g.Model); err != nil {
+		return fmt.Errorf("unknown model %q (valid: %s)", g.Model, strings.Join(ZooModelNames(), ", "))
+	}
 	return nil
 }
 
@@ -119,17 +157,27 @@ func (g GridSpec) Points() int64 {
 }
 
 // Evolutions expands the flop-vs-bw ratios into hardware scenarios.
+// Ratio 1 maps to the identity scenario ("1x"), matching PaperScenarios
+// and the CLI — which is what keeps a daemon-streamed grid
+// byte-identical to a locally streamed one.
 func (g GridSpec) Evolutions() []hw.Evolution {
 	evos := make([]hw.Evolution, len(g.FlopVsBW))
 	for i, r := range g.FlopVsBW {
-		evos[i] = hw.FlopVsBWScenario(r)
+		evos[i] = hw.RatioScenario(r)
 	}
 	return evos
 }
 
+// RowCount returns the exact number of rows the normalized grid
+// streams — Points() minus the TP-indivisible skips. This is the
+// denominator a shard planner partitions.
+func (g GridSpec) RowCount() (int64, error) {
+	return core.GridRowCount(g.Hs, g.SLs, g.TPs, g.B, len(g.FlopVsBW))
+}
+
 // normalize applies defaults and canonicalizes the request in place.
-func (r *StudyRequest) normalize() error {
-	if err := r.GridSpec.normalize(); err != nil {
+func (r *StudyRequest) normalize(defModel string) error {
+	if err := r.GridSpec.normalize(defModel); err != nil {
 		return err
 	}
 	switch {
@@ -141,6 +189,34 @@ func (r *StudyRequest) normalize() error {
 		r.TargetFraction = 0.5
 	}
 	return nil
+}
+
+// normalize canonicalizes the sweep request in place and validates the
+// shard range's self-consistent half (Lo/Hi sanity; whether Hi fits the
+// grid needs the enumerated row count, which the handler checks).
+func (r *SweepRequest) normalize(defModel string) error {
+	if err := r.GridSpec.normalize(defModel); err != nil {
+		return err
+	}
+	if r.Lo < 0 || r.Hi < 0 {
+		return fmt.Errorf("shard range [%d,%d) must be non-negative", r.Lo, r.Hi)
+	}
+	if r.Ranged() && r.Lo >= r.Hi {
+		return fmt.Errorf("shard range [%d,%d) is empty", r.Lo, r.Hi)
+	}
+	if !r.Ranged() && r.Lo != 0 {
+		return fmt.Errorf("shard lo=%d without hi", r.Lo)
+	}
+	return nil
+}
+
+// Normalize canonicalizes the request exactly as the daemon will,
+// defaulting an empty Model to BERT (DefaultConfig's model). Clients —
+// the fan-out coordinator above all — normalize before deriving shard
+// requests so every shard hashes and streams against one canonical
+// spec.
+func (r *SweepRequest) Normalize() error {
+	return r.normalize(DefaultConfig().DefaultModel)
 }
 
 // decodeStrict decodes exactly one JSON value from body into dst,

@@ -1,0 +1,50 @@
+package shardmap
+
+import "twocs/internal/stream"
+
+// Digests bundles the three online reducers the sweep commands render:
+// best-K rows, the Pareto frontier, and per-axis marginals. The
+// coordinator reduces each fetched shard into its own Digests and folds
+// them together in shard order with the reducers' Merge algebra —
+// paying O(digest) per shard at the merge point instead of routing
+// every row through one shared reducer chain.
+type Digests struct {
+	TopK      *stream.TopK
+	Pareto    *stream.Pareto
+	Marginals *stream.Marginals
+}
+
+// NewDigests builds an empty digest bundle with a top-k of k.
+func NewDigests(k int) (*Digests, error) {
+	tk, err := stream.NewTopK(k)
+	if err != nil {
+		return nil, err
+	}
+	return &Digests{
+		TopK:      tk,
+		Pareto:    stream.NewPareto(),
+		Marginals: stream.NewMarginals(),
+	}, nil
+}
+
+// Emit routes one row into all three reducers.
+func (d *Digests) Emit(r stream.Row) error {
+	if err := d.TopK.Emit(r); err != nil {
+		return err
+	}
+	if err := d.Pareto.Emit(r); err != nil {
+		return err
+	}
+	return d.Marginals.Emit(r)
+}
+
+// Merge folds another digest bundle into d. The two must share a
+// top-K size; o is not modified.
+func (d *Digests) Merge(o *Digests) error {
+	if err := d.TopK.Merge(o.TopK); err != nil {
+		return err
+	}
+	d.Pareto.Merge(o.Pareto)
+	d.Marginals.Merge(o.Marginals)
+	return nil
+}

@@ -1,0 +1,230 @@
+package stream
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"strconv"
+
+	"twocs/internal/units"
+)
+
+// This file is the read side of the NDJSON contract: parse one line the
+// NDJSON writer produced back into a Row or Trailer. The shard fan-out
+// client lives on this — it re-emits fetched rows through a local
+// writer, and because the writer's strconv shortest-float formatting
+// round-trips exactly through strconv.ParseFloat, parse→re-serialize is
+// byte-identical: a sharded sweep's artifact equals the single-node
+// one's, byte for byte.
+//
+// The hot path is a positional scanner keyed to the writer's fixed key
+// order (allocation-light: only the evo string and an occasional reason
+// escape allocate); anything it does not recognize falls back to
+// encoding/json, so a well-formed line with, say, reordered keys still
+// parses — just slower.
+
+// ParsedLine is one decoded NDJSON line: a data row, or the stream's
+// trailer when IsTrailer is set (then Row is zero and Trailer is
+// populated, and vice versa).
+type ParsedLine struct {
+	IsTrailer bool
+	Row       Row
+	Trailer   Trailer
+}
+
+var trailerPrefix = []byte(`{"trailer":`)
+
+// ParseNDJSONLine decodes one line of an NDJSON stream artifact. The
+// line must not contain the trailing newline. Null objectives decode as
+// NaN — the canceled-row convention in reverse.
+func ParseNDJSONLine(line []byte) (ParsedLine, error) {
+	if bytes.HasPrefix(line, trailerPrefix) {
+		return parseTrailer(line)
+	}
+	if r, ok := parseRowFast(line); ok {
+		return ParsedLine{Row: r}, nil
+	}
+	return parseRowSlow(line)
+}
+
+// trailerJSON mirrors the trailer object's keys ("canceled" is a count
+// here, unlike the row's boolean — which is why the two decode through
+// separate structs).
+type trailerJSON struct {
+	Trailer  bool   `json:"trailer"`
+	Rows     int64  `json:"rows"`
+	Total    int64  `json:"total"`
+	Canceled int64  `json:"canceled"`
+	Complete bool   `json:"complete"`
+	Reason   string `json:"reason"`
+}
+
+func parseTrailer(line []byte) (ParsedLine, error) {
+	var t trailerJSON
+	if err := json.Unmarshal(line, &t); err != nil || !t.Trailer {
+		return ParsedLine{}, fmt.Errorf("stream: bad trailer line %q", line)
+	}
+	return ParsedLine{IsTrailer: true, Trailer: Trailer{
+		Rows: t.Rows, Total: t.Total, Canceled: t.Canceled,
+		Complete: t.Complete, Reason: t.Reason,
+	}}, nil
+}
+
+// rowJSON mirrors the row object's keys for the slow path. Pointer
+// objectives distinguish null (canceled, NaN) from 0.
+type rowJSON struct {
+	I        int64    `json:"i"`
+	Evo      string   `json:"evo"`
+	Flopbw   float64  `json:"flopbw"`
+	H        int      `json:"h"`
+	SL       int      `json:"sl"`
+	B        int      `json:"b"`
+	TP       int      `json:"tp"`
+	IterS    *float64 `json:"iter_s"`
+	CommFrac *float64 `json:"comm_frac"`
+	MemBytes *float64 `json:"mem_bytes"`
+	Canceled bool     `json:"canceled"`
+}
+
+func orNaN(v *float64) float64 {
+	if v == nil {
+		return math.NaN()
+	}
+	return *v
+}
+
+func parseRowSlow(line []byte) (ParsedLine, error) {
+	var r rowJSON
+	if err := json.Unmarshal(line, &r); err != nil {
+		return ParsedLine{}, fmt.Errorf("stream: bad row line %q: %v", line, err)
+	}
+	return ParsedLine{Row: Row{
+		Index: r.I,
+		Evo:   r.Evo, FlopVsBW: r.Flopbw,
+		H: r.H, SL: r.SL, B: r.B, TP: r.TP,
+		IterTime: units.Seconds(orNaN(r.IterS)),
+		CommFrac: orNaN(r.CommFrac),
+		MemBytes: units.Bytes(orNaN(r.MemBytes)),
+	}}, nil
+}
+
+// lineScanner is a positional cursor over one row line in the writer's
+// key order. Any mismatch sets bad; the caller then falls back to the
+// slow path.
+type lineScanner struct {
+	b   []byte
+	pos int
+	bad bool
+}
+
+func (s *lineScanner) lit(l string) {
+	if s.bad || len(s.b)-s.pos < len(l) || string(s.b[s.pos:s.pos+len(l)]) != l {
+		s.bad = true
+		return
+	}
+	s.pos += len(l)
+}
+
+// numEnd returns the end of the JSON number starting at pos.
+func (s *lineScanner) numEnd() int {
+	i := s.pos
+	for i < len(s.b) {
+		switch c := s.b[i]; {
+		case c >= '0' && c <= '9', c == '-', c == '+', c == '.', c == 'e', c == 'E':
+			i++
+		default:
+			return i
+		}
+	}
+	return i
+}
+
+func (s *lineScanner) int_() int64 {
+	if s.bad {
+		return 0
+	}
+	end := s.numEnd()
+	v, err := strconv.ParseInt(string(s.b[s.pos:end]), 10, 64)
+	if err != nil {
+		s.bad = true
+		return 0
+	}
+	s.pos = end
+	return v
+}
+
+// float parses a JSON number or the null literal (as NaN).
+func (s *lineScanner) float() float64 {
+	if s.bad {
+		return 0
+	}
+	if len(s.b)-s.pos >= 4 && string(s.b[s.pos:s.pos+4]) == "null" {
+		s.pos += 4
+		return math.NaN()
+	}
+	end := s.numEnd()
+	v, err := strconv.ParseFloat(string(s.b[s.pos:end]), 64)
+	if err != nil {
+		s.bad = true
+		return 0
+	}
+	s.pos = end
+	return v
+}
+
+// str parses a JSON string literal. Lines with escape sequences bail to
+// the slow path — evo names are plain ASCII in practice.
+func (s *lineScanner) str() string {
+	if s.bad {
+		return ""
+	}
+	if s.pos >= len(s.b) || s.b[s.pos] != '"' {
+		s.bad = true
+		return ""
+	}
+	i := s.pos + 1
+	for i < len(s.b) && s.b[i] != '"' && s.b[i] != '\\' {
+		i++
+	}
+	if i >= len(s.b) || s.b[i] != '"' {
+		s.bad = true
+		return ""
+	}
+	out := string(s.b[s.pos+1 : i])
+	s.pos = i + 1
+	return out
+}
+
+func parseRowFast(line []byte) (Row, bool) {
+	s := &lineScanner{b: line}
+	var r Row
+	s.lit(`{"i":`)
+	r.Index = s.int_()
+	s.lit(`,"evo":`)
+	r.Evo = s.str()
+	s.lit(`,"flopbw":`)
+	r.FlopVsBW = s.float()
+	s.lit(`,"h":`)
+	r.H = int(s.int_())
+	s.lit(`,"sl":`)
+	r.SL = int(s.int_())
+	s.lit(`,"b":`)
+	r.B = int(s.int_())
+	s.lit(`,"tp":`)
+	r.TP = int(s.int_())
+	s.lit(`,"iter_s":`)
+	r.IterTime = units.Seconds(s.float())
+	s.lit(`,"comm_frac":`)
+	r.CommFrac = s.float()
+	s.lit(`,"mem_bytes":`)
+	r.MemBytes = units.Bytes(s.float())
+	if !s.bad && s.pos < len(s.b) && s.b[s.pos] == ',' {
+		s.lit(`,"canceled":true`)
+	}
+	s.lit(`}`)
+	if s.bad || s.pos != len(line) {
+		return Row{}, false
+	}
+	return r, true
+}

@@ -1,0 +1,185 @@
+package stream
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+
+	"twocs/internal/units"
+)
+
+// writeArtifact serializes rows plus a trailer through the NDJSON sink.
+func writeArtifact(t *testing.T, rows []Row, tr Trailer) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	n := NewNDJSON(&buf)
+	for _, r := range rows {
+		if err := n.Emit(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := n.Close(tr); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestParseNDJSONRoundTrip: parse every line of a written artifact and
+// re-serialize through a fresh writer — the bytes must be identical.
+// This is the property the shard fan-out client depends on: fetched
+// shard streams re-emitted locally reproduce the single-node artifact
+// byte for byte.
+func TestParseNDJSONRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	rows := withCanceled(rng, randomGrid(rng, 200), 25)
+	// Exercise non-integral floats too: the quantized random grid is
+	// friendly, sharded reality is not.
+	for i := range rows {
+		if i%3 == 0 {
+			rows[i].CommFrac = rng.Float64()
+			rows[i].IterTime = units.Seconds(rng.Float64() * 123.456e-3)
+			rows[i].MemBytes = units.Bytes(rng.Float64() * 68e9)
+		}
+	}
+	for _, tr := range []Trailer{
+		{Rows: 200, Total: 200, Complete: true},
+		{Rows: 120, Total: 200, Canceled: 80, Complete: false, Reason: "deadline exceeded"},
+		{Rows: 0, Total: 200, Complete: false, Reason: `killed: signal "TERM"`},
+	} {
+		art := writeArtifact(t, rows, tr)
+		lines := bytes.Split(bytes.TrimSuffix(art, []byte("\n")), []byte("\n"))
+		if len(lines) != len(rows)+1 {
+			t.Fatalf("artifact has %d lines, want %d", len(lines), len(rows)+1)
+		}
+
+		var out bytes.Buffer
+		w := NewNDJSON(&out)
+		var gotTrailer Trailer
+		sawTrailer := false
+		for li, line := range lines {
+			p, err := ParseNDJSONLine(line)
+			if err != nil {
+				t.Fatalf("line %d: %v", li, err)
+			}
+			if p.IsTrailer {
+				if li != len(lines)-1 {
+					t.Fatalf("trailer at line %d of %d", li, len(lines))
+				}
+				gotTrailer, sawTrailer = p.Trailer, true
+				continue
+			}
+			if err := w.Emit(p.Row); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if !sawTrailer {
+			t.Fatal("no trailer parsed")
+		}
+		if err := w.Close(gotTrailer); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(out.Bytes(), art) {
+			t.Fatalf("parse→re-serialize is not byte-identical (trailer %+v)", tr)
+		}
+	}
+}
+
+// TestParseNDJSONFastSlowAgree: the slow path (encoding/json) must
+// decode a key-reordered but semantically identical line to the same
+// Row the fast path extracts from writer-ordered bytes.
+func TestParseNDJSONFastSlowAgree(t *testing.T) {
+	fast := []byte(`{"i":42,"evo":"4x flop-vs-bw","flopbw":4,"h":8192,"sl":2048,"b":4,"tp":64,"iter_s":0.123,"comm_frac":0.25,"mem_bytes":1.5e9}`)
+	reordered := []byte(`{"tp":64,"evo":"4x flop-vs-bw","comm_frac":0.25,"h":8192,"sl":2048,"b":4,"i":42,"iter_s":0.123,"mem_bytes":1.5e9,"flopbw":4}`)
+
+	pf, err := ParseNDJSONLine(fast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr, err := ParseNDJSONLine(reordered)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pf.IsTrailer || pr.IsTrailer {
+		t.Fatal("rows parsed as trailers")
+	}
+	if rowKey(pf.Row) != rowKey(pr.Row) {
+		t.Fatalf("fast %+v != slow %+v", pf.Row, pr.Row)
+	}
+
+	// A canceled row: nulls decode as NaN on both paths.
+	canceled := []byte(`{"i":7,"evo":"1x","flopbw":1,"h":1024,"sl":1024,"b":1,"tp":4,"iter_s":null,"comm_frac":null,"mem_bytes":null,"canceled":true}`)
+	pc, err := ParseNDJSONLine(canceled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pc.Row.Finite() {
+		t.Fatal("canceled row parsed as finite")
+	}
+	if !math.IsNaN(float64(pc.Row.IterTime)) || !math.IsNaN(pc.Row.CommFrac) {
+		t.Fatalf("null objectives should be NaN: %+v", pc.Row)
+	}
+	if pc.Row.Index != 7 || pc.Row.Evo != "1x" || pc.Row.TP != 4 {
+		t.Fatalf("canceled row coordinates lost: %+v", pc.Row)
+	}
+}
+
+// TestParseNDJSONEscapedString: an escape in the evo name bails the
+// fast path to encoding/json, which must unescape it.
+func TestParseNDJSONEscapedString(t *testing.T) {
+	line := []byte(`{"i":1,"evo":"odd\"name\\x","flopbw":2,"h":1024,"sl":1024,"b":1,"tp":4,"iter_s":0.5,"comm_frac":0.5,"mem_bytes":1e9}`)
+	p, err := ParseNDJSONLine(line)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Row.Evo != `odd"name\x` {
+		t.Fatalf("evo = %q", p.Row.Evo)
+	}
+}
+
+// TestParseNDJSONTrailerForms: both trailer shapes (with and without
+// the optional canceled/reason fields) parse to the Trailer the writer
+// was closed with.
+func TestParseNDJSONTrailerForms(t *testing.T) {
+	for _, tr := range []Trailer{
+		{Rows: 10, Total: 10, Complete: true},
+		{Rows: 3, Total: 10, Canceled: 7, Complete: false, Reason: "canceled"},
+	} {
+		art := writeArtifact(t, nil, tr)
+		p, err := ParseNDJSONLine(bytes.TrimSuffix(art, []byte("\n")))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !p.IsTrailer || p.Trailer != tr {
+			t.Fatalf("parsed %+v, want %+v", p.Trailer, tr)
+		}
+	}
+}
+
+// TestParseNDJSONRejectsGarbage: malformed lines error instead of
+// decoding to a zero row.
+func TestParseNDJSONRejectsGarbage(t *testing.T) {
+	for _, line := range []string{
+		``,
+		`not json`,
+		`{"i":"x","evo":3}`,
+		`{"trailer":false,"rows":1}`,
+		`{"trailer":1,"rows":`,
+	} {
+		if _, err := ParseNDJSONLine([]byte(line)); err == nil {
+			t.Fatalf("line %q must error", line)
+		}
+	}
+}
+
+// BenchmarkParseNDJSONLine exercises the fast path on a writer-shaped
+// row line.
+func BenchmarkParseNDJSONLine(b *testing.B) {
+	line := []byte(`{"i":123456,"evo":"4x flop-vs-bw","flopbw":4,"h":8192,"sl":2048,"b":4,"tp":64,"iter_s":0.12345678,"comm_frac":0.25,"mem_bytes":1.5e9}`)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := ParseNDJSONLine(line); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -3,9 +3,9 @@
 # requests and report cold-vs-warm latency. The first request pays for
 # the grid walk (cache miss); every subsequent one must be served from
 # the LRU cache, so the warm distribution is the service's floor. The
-# script reports p50/p95/max for the warm phase, asserts every warm
-# request was a cache hit with a body identical to the first, and
-# cross-checks the hit counter on /metrics.
+# script reports p50/p95/p99/max and the error count for the warm
+# phase, asserts every warm request was a cache hit with a body
+# identical to the first, and cross-checks the hit counter on /metrics.
 #
 # Usage: scripts/serve_loadtest.sh [requests] [binary]
 #   requests  warm-phase request count (default 200)
@@ -39,19 +39,28 @@ done
 [ -n "$ADDR" ] || { echo "daemon never announced an address"; cat "$WORK/stderr.txt"; exit 1; }
 
 python3 - "$ADDR" "$N" <<'EOF'
-import json, sys, time, urllib.request
+import json, sys, time, urllib.error, urllib.request
 
 addr, n = sys.argv[1], int(sys.argv[2])
 spec = json.dumps({"h": [1024, 2048, 4096], "sl": [1024, 2048],
                    "tp": [4, 8, 16, 32], "flopbw": [1, 2, 10]}).encode()
 
+errors = {}  # HTTP status / error kind -> count
+
 def study():
     req = urllib.request.Request(f"http://{addr}/v1/study", data=spec,
                                  headers={"Content-Type": "application/json"})
     t0 = time.perf_counter()
-    with urllib.request.urlopen(req) as resp:
-        body = resp.read()
-        cache = resp.headers.get("X-Twocsd-Cache")
+    try:
+        with urllib.request.urlopen(req) as resp:
+            body = resp.read()
+            cache = resp.headers.get("X-Twocsd-Cache")
+    except urllib.error.HTTPError as e:
+        errors[e.code] = errors.get(e.code, 0) + 1
+        return (time.perf_counter() - t0) * 1e3, None, None
+    except urllib.error.URLError as e:
+        errors[str(e.reason)] = errors.get(str(e.reason), 0) + 1
+        return (time.perf_counter() - t0) * 1e3, None, None
     return (time.perf_counter() - t0) * 1e3, cache, body
 
 cold_ms, cache, first = study()
@@ -61,17 +70,23 @@ warm, misses = [], 0
 for _ in range(n):
     ms, cache, body = study()
     warm.append(ms)
+    if body is None:
+        continue
     if cache != "hit":
         misses += 1
     assert body == first, "warm body diverges from the computed one"
 assert misses == 0, f"{misses}/{n} warm requests missed the cache"
 
 warm.sort()
-p50 = warm[len(warm) // 2]
-p95 = warm[min(len(warm) - 1, int(len(warm) * 0.95))]
+def pct(q):
+    return warm[min(len(warm) - 1, int(len(warm) * q))]
 print(f"cold (miss):  {cold_ms:8.2f} ms")
 print(f"warm (hit) over {n} requests:")
-print(f"  p50 {p50:8.2f} ms   p95 {p95:8.2f} ms   max {warm[-1]:8.2f} ms")
+print(f"  p50 {pct(0.5):8.2f} ms   p95 {pct(0.95):8.2f} ms   "
+      f"p99 {pct(0.99):8.2f} ms   max {warm[-1]:8.2f} ms")
+nerr = sum(errors.values())
+print(f"  errors: {nerr}/{n}" + (f"  {errors}" if errors else ""))
+assert nerr == 0, f"warm phase saw {nerr} errors: {errors}"
 
 with urllib.request.urlopen(f"http://{addr}/metrics") as resp:
     metrics = resp.read().decode()

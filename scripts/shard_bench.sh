@@ -1,0 +1,91 @@
+#!/bin/sh
+# shard_bench.sh — measure fan-out sweep throughput and refresh
+# BENCH_shard.json: a ~1M-row evolution grid distributed with `twocs
+# sweep-fan` over 1, 2 and 3 local twocsd replicas, recording rows/sec
+# per fleet size plus the 3-vs-1 speedup.
+#
+# The replicas run on THIS machine, so the numbers are honest for this
+# machine: with fewer cores than replicas the fleet time-slices one
+# CPU and the speedup ceiling is ~1x — the recorded "cpus" field says
+# which regime a number came from. On a host (or real fleet) with >=
+# one core per replica the same plan scales with fleet size; see
+# EXPERIMENTS.md.
+#
+# Usage: scripts/shard_bench.sh [scenarios] [out.json]
+#   scenarios  flop-vs-bw scenario count (default 6411 ~= 1.0M rows)
+set -eu
+
+SCENARIOS=${1:-6411}
+OUT=${2:-BENCH_shard.json}
+cd "$(dirname "$0")/.."
+
+BINDIR=$(mktemp -d)
+WORK=$(mktemp -d)
+PIDS=
+trap 'for p in $PIDS; do kill "$p" 2>/dev/null || true; done; rm -rf "$WORK" "$BINDIR"' EXIT
+
+go build -o "$BINDIR/twocs" ./cmd/twocs
+go build -o "$BINDIR/twocsd" ./cmd/twocsd
+
+start_replica() {
+    "$BINDIR/twocsd" -addr 127.0.0.1:0 2> "$WORK/replica$1.err" &
+    PIDS="$PIDS $!"
+    ADDR=
+    i=0
+    while [ $i -lt 100 ]; do
+        ADDR=$(sed -n 's#^twocsd: listening on http://##p' "$WORK/replica$1.err" | head -1)
+        [ -n "$ADDR" ] && break
+        sleep 0.1
+        i=$((i + 1))
+    done
+    [ -n "$ADDR" ] || { echo "replica $1 never announced an address"; cat "$WORK/replica$1.err"; exit 1; }
+}
+
+start_replica 1; R1=$ADDR
+start_replica 2; R2=$ADDR
+start_replica 3; R3=$ADDR
+
+: > "$WORK/results.txt"
+for FLEET in "http://$R1" "http://$R1,http://$R2" "http://$R1,http://$R2,http://$R3"; do
+    N=$(echo "$FLEET" | awk -F, '{print NF}')
+    "$BINDIR/twocs" sweep-fan -replicas "$FLEET" \
+        -scenarios "$SCENARIOS" -flopbw-max 10 \
+        -out "$WORK/fan$N.ndjson" 2> "$WORK/fan$N.err"
+    SUM=$(sed -n 's/^twocs: fanned //p' "$WORK/fan$N.err")
+    [ -n "$SUM" ] || { echo "no fan summary for fleet $N"; cat "$WORK/fan$N.err"; exit 1; }
+    echo "$N $SUM" >> "$WORK/results.txt"
+    echo "replicas=$N: $SUM" >&2
+done
+
+# All three fleets must produce the identical artifact before any
+# number is recorded.
+cmp "$WORK/fan1.ndjson" "$WORK/fan2.ndjson"
+cmp "$WORK/fan1.ndjson" "$WORK/fan3.ndjson"
+
+python3 - "$WORK/results.txt" "$OUT" <<'EOF'
+import json, os, re, sys
+
+results = []
+for line in open(sys.argv[1]):
+    # "N <rows> rows over <n> replicas to <path> (<shards> shards, <r> retries, <d> retired, <rps> rows/s)"
+    m = re.match(r"(\d+) (\d+) rows over \d+ replicas to \S+ "
+                 r"\((\d+) shards, (\d+) retries, (\d+) retired, (\d+) rows/s\)", line)
+    assert m, f"unparseable fan summary: {line!r}"
+    n, rows, shards, retries, retired, rps = map(int, m.groups())
+    results.append({"replicas": n, "rows": rows, "shards": shards,
+                    "retries": retries, "retired": retired, "rows_per_sec": rps})
+
+one = next(r for r in results if r["replicas"] == 1)
+three = next(r for r in results if r["replicas"] == 3)
+doc = {
+    "unit": {"throughput": "rows/sec"},
+    "cpus": os.cpu_count(),
+    "grid_rows": one["rows"],
+    "results": results,
+    "speedup_3v1": round(three["rows_per_sec"] / one["rows_per_sec"], 2),
+}
+with open(sys.argv[2], "w") as f:
+    json.dump(doc, f, indent=2)
+    f.write("\n")
+print(f"wrote {sys.argv[2]}: speedup_3v1={doc['speedup_3v1']} on {doc['cpus']} cpus", file=sys.stderr)
+EOF

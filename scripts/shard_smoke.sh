@@ -1,0 +1,86 @@
+#!/bin/sh
+# shard_smoke.sh — the CI fan-out smoke: boot three local twocsd
+# replicas, distribute a sweep over them with `twocs sweep-fan`, and
+# hold the scale-out layer to its contracts end to end:
+#
+#   - the fanned NDJSON artifact AND the digest tables are
+#     byte-identical to a local single-node `twocs sweep-stream` of the
+#     same grid (rows, trailer, top-K, Pareto, marginals);
+#   - SIGTERMing one replica mid-run does not change a byte: the
+#     coordinator retires it, re-dispatches the interrupted shard's
+#     remaining range to a healthy replica, and the artifact still
+#     matches the single-node one;
+#   - the fan run exits 0 both times (the kill is absorbed, not
+#     surfaced).
+#
+# Usage: scripts/shard_smoke.sh [twocs-binary [twocsd-binary]]
+set -eu
+
+TWOCS=${1:-}
+TWOCSD=${2:-}
+if [ -z "$TWOCS" ]; then
+    TWOCS=$(mktemp -d)/twocs
+    go build -o "$TWOCS" ./cmd/twocs
+fi
+if [ -z "$TWOCSD" ]; then
+    TWOCSD=$(mktemp -d)/twocsd
+    go build -o "$TWOCSD" ./cmd/twocsd
+fi
+
+WORK=$(mktemp -d)
+PIDS=
+trap 'for p in $PIDS; do kill "$p" 2>/dev/null || true; done; rm -rf "$WORK"' EXIT
+
+# start_replica N -> replica address in $ADDR, pid appended to $PIDS.
+start_replica() {
+    "$TWOCSD" -addr 127.0.0.1:0 2> "$WORK/replica$1.err" &
+    PIDS="$PIDS $!"
+    eval "PID$1=$!"
+    ADDR=
+    i=0
+    while [ $i -lt 100 ]; do
+        ADDR=$(sed -n 's#^twocsd: listening on http://##p' "$WORK/replica$1.err" | head -1)
+        [ -n "$ADDR" ] && break
+        sleep 0.1
+        i=$((i + 1))
+    done
+    [ -n "$ADDR" ] || { echo "replica $1 never announced an address"; cat "$WORK/replica$1.err"; exit 1; }
+}
+
+start_replica 1; R1=$ADDR
+start_replica 2; R2=$ADDR
+start_replica 3; R3=$ADDR
+REPLICAS="http://$R1,http://$R2,http://$R3"
+
+# ~31k-row grid (200 flop-vs-bw scenarios over the Table 3 axes),
+# shard-rows chosen so the plan has many shards per replica.
+GRID="-scenarios 200 -flopbw-max 10"
+DIGESTS="-topk 5 -pareto -marginals"
+
+"$TWOCS" sweep-stream $GRID $DIGESTS -out "$WORK/single.ndjson" \
+    > "$WORK/digests_single.txt" 2> /dev/null
+
+"$TWOCS" sweep-fan -replicas "$REPLICAS" -shard-rows 2048 $GRID $DIGESTS \
+    -out "$WORK/fan.ndjson" > "$WORK/digests_fan.txt" 2> "$WORK/fan.err"
+cmp "$WORK/single.ndjson" "$WORK/fan.ndjson" \
+    || { echo "fan artifact differs from single-node sweep"; exit 1; }
+cmp "$WORK/digests_single.txt" "$WORK/digests_fan.txt" \
+    || { echo "fan digests differ from single-node sweep"; exit 1; }
+
+# Same sweep again, but SIGTERM replica 3 shortly after launch: the
+# fleet shrinks mid-run and the output must not change by a byte.
+"$TWOCS" sweep-fan -replicas "$REPLICAS" -shard-rows 2048 $GRID $DIGESTS \
+    -out "$WORK/fan_kill.ndjson" > "$WORK/digests_kill.txt" 2> "$WORK/fan_kill.err" &
+FAN=$!
+sleep 0.1
+kill -TERM "$PID3" 2>/dev/null || true
+STATUS=0
+wait "$FAN" || STATUS=$?
+[ "$STATUS" -eq 0 ] || { echo "fan exit status $STATUS after replica kill, want 0"; cat "$WORK/fan_kill.err"; exit 1; }
+cmp "$WORK/single.ndjson" "$WORK/fan_kill.ndjson" \
+    || { echo "fan artifact differs after mid-run replica kill"; exit 1; }
+cmp "$WORK/digests_single.txt" "$WORK/digests_kill.txt" \
+    || { echo "fan digests differ after mid-run replica kill"; exit 1; }
+
+SUMMARY=$(sed -n 's/^twocs: fanned //p' "$WORK/fan_kill.err")
+echo "shard_smoke: OK (3 replicas at $R1 $R2 $R3; after kill: $SUMMARY)"
